@@ -1,0 +1,42 @@
+#ifndef SAMYA_BENCH_BENCH_UTIL_H_
+#define SAMYA_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+
+#include "harness/experiment.h"
+
+namespace samya::bench {
+
+/// Prints a banner naming the experiment and the paper artifact it
+/// regenerates.
+inline void Banner(const char* artifact, const char* description) {
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", artifact, description);
+  std::printf("==============================================================\n");
+}
+
+/// Prints the standard per-system summary row used by several benches.
+inline void PrintSummaryRow(const char* name,
+                            const harness::ExperimentResult& r,
+                            Duration duration) {
+  std::printf(
+      "%-38s %9.1f tps  committed=%-8llu rejected=%-7llu p50=%7.2fms "
+      "p90=%8.2fms p99=%8.2fms\n",
+      name, r.MeanTps(duration),
+      static_cast<unsigned long long>(r.aggregate.TotalCommitted()),
+      static_cast<unsigned long long>(r.aggregate.rejected),
+      r.aggregate.latency.P50() / 1000.0, r.aggregate.latency.P90() / 1000.0,
+      r.aggregate.latency.P99() / 1000.0);
+}
+
+/// Runs one configured experiment end to end.
+inline harness::ExperimentResult RunSystem(harness::ExperimentOptions opts) {
+  harness::Experiment experiment(opts);
+  experiment.Setup();
+  return experiment.Run();
+}
+
+}  // namespace samya::bench
+
+#endif  // SAMYA_BENCH_BENCH_UTIL_H_

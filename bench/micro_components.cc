@@ -1,0 +1,140 @@
+// Component micro-benchmarks (google-benchmark): the hot paths under every
+// experiment — codec, CRC, RNG, histogram, event loop, Algorithm 2, message
+// round trips, predictor inference, and trace generation.
+
+#include <benchmark/benchmark.h>
+
+#include "common/codec.h"
+#include "common/crc32.h"
+#include "common/histogram.h"
+#include "common/random.h"
+#include "core/messages.h"
+#include "core/reallocator.h"
+#include "predict/lstm.h"
+#include "sim/environment.h"
+#include "workload/azure_generator.h"
+
+namespace samya {
+namespace {
+
+void BM_CodecVarintRoundTrip(benchmark::State& state) {
+  Rng rng(1);
+  std::vector<int64_t> values(256);
+  for (auto& v : values) v = static_cast<int64_t>(rng.Next());
+  for (auto _ : state) {
+    BufferWriter w;
+    for (int64_t v : values) w.PutVarintSigned(v);
+    BufferReader r(w.buffer());
+    int64_t acc = 0;
+    for (size_t i = 0; i < values.size(); ++i) {
+      acc += r.GetVarintSigned().value();
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_CodecVarintRoundTrip);
+
+void BM_Crc32c(benchmark::State& state) {
+  std::vector<uint8_t> data(static_cast<size_t>(state.range(0)), 0xab);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Crc32c(data));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Crc32c)->Arg(64)->Arg(4096);
+
+void BM_RngNext(benchmark::State& state) {
+  Rng rng(7);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.Next());
+}
+BENCHMARK(BM_RngNext);
+
+void BM_HistogramRecord(benchmark::State& state) {
+  Histogram h;
+  Rng rng(9);
+  for (auto _ : state) {
+    h.Record(static_cast<int64_t>(rng.NextUint64(1000000)));
+  }
+  benchmark::DoNotOptimize(h.P99());
+}
+BENCHMARK(BM_HistogramRecord);
+
+void BM_SimEventLoop(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::SimEnvironment env(1);
+    int fired = 0;
+    for (int i = 0; i < 1000; ++i) {
+      env.Schedule(i, [&fired] { ++fired; });
+    }
+    env.RunUntilIdle();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_SimEventLoop);
+
+void BM_Algorithm2Reallocate(benchmark::State& state) {
+  core::GreedyReallocator realloc;
+  core::StateList list;
+  Rng rng(11);
+  for (int i = 0; i < state.range(0); ++i) {
+    list.entries.push_back(core::EntityState{
+        static_cast<sim::NodeId>(i), rng.UniformInt(0, 1000),
+        rng.UniformInt(0, 1500)});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(realloc.Reallocate(list));
+  }
+}
+BENCHMARK(BM_Algorithm2Reallocate)->Arg(5)->Arg(20)->Arg(100);
+
+void BM_AvantanMessageRoundTrip(benchmark::State& state) {
+  core::ElectionOkValue m;
+  m.instance = 42;
+  m.ballot = {7, 3};
+  m.init_val = {3, 1000, 250};
+  for (int i = 0; i < 5; ++i) {
+    m.accept_val.entries.push_back(core::EntityState{i, 100 * i, 10 * i});
+  }
+  for (auto _ : state) {
+    BufferWriter w;
+    m.EncodeTo(w);
+    BufferReader r(w.buffer());
+    auto decoded = core::ElectionOkValue::DecodeFrom(r);
+    benchmark::DoNotOptimize(decoded);
+  }
+}
+BENCHMARK(BM_AvantanMessageRoundTrip);
+
+void BM_LstmInference(benchmark::State& state) {
+  predict::LstmOptions opts;
+  opts.window = 32;
+  opts.hidden = 24;
+  opts.epochs = 1;
+  opts.stride = 8;
+  predict::LstmPredictor lstm(opts);
+  std::vector<double> series(512);
+  Rng rng(13);
+  for (auto& v : series) v = rng.Uniform(0, 100);
+  (void)lstm.Train(series);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lstm.PredictNext());
+  }
+}
+BENCHMARK(BM_LstmInference);
+
+void BM_AzureTraceGeneration(benchmark::State& state) {
+  workload::AzureTraceOptions opts;
+  opts.days = 7;
+  for (auto _ : state) {
+    auto trace = workload::GenerateAzureTrace(opts);
+    benchmark::DoNotOptimize(trace.TotalCreations());
+  }
+}
+BENCHMARK(BM_AzureTraceGeneration);
+
+}  // namespace
+}  // namespace samya
+
+BENCHMARK_MAIN();

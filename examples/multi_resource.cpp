@@ -1,0 +1,138 @@
+// Multi-entity deployment (§3.1): ultraCloud tracks three resource types —
+// VMs, storage volumes, and network bandwidth units — each with its own
+// limit and its own group of value-partitioned sites. A per-region
+// EntityRouter consults the EntityDirectory to route each transaction to the
+// right group, so one front door serves every resource.
+
+#include <cstdio>
+
+#include "core/directory.h"
+#include "core/site.h"
+#include "harness/workload_client.h"
+#include "sim/cluster.h"
+
+using namespace samya;  // NOLINT — example code
+
+namespace {
+
+struct Resource {
+  uint32_t entity;
+  const char* name;
+  int64_t limit;
+  std::vector<core::Site*> sites;
+};
+
+}  // namespace
+
+int main() {
+  std::printf("Multi-entity Samya: VMs, storage volumes, bandwidth units\n\n");
+
+  sim::Cluster cluster(17);
+  core::EntityDirectory directory;
+  std::vector<Resource> resources = {
+      {1, "vm", 5000, {}},
+      {2, "storage", 20000, {}},
+      {3, "bandwidth", 800, {}},
+  };
+
+  // Each resource gets its own 5-site group, value-partitioned as usual.
+  for (auto& res : resources) {
+    const sim::NodeId first = static_cast<sim::NodeId>(cluster.num_nodes());
+    std::vector<sim::NodeId> ids;
+    for (int i = 0; i < 5; ++i) ids.push_back(first + i);
+    for (int i = 0; i < 5; ++i) {
+      core::SiteOptions opts;
+      opts.sites = ids;
+      opts.initial_tokens = res.limit / 5;
+      opts.protocol = core::Protocol::kAvantanMajority;
+      opts.enable_prediction = false;
+      auto* site = cluster.AddNode<core::Site>(
+          sim::kPaperRegions[static_cast<size_t>(i)], opts);
+      site->set_storage(cluster.StorageFor(site->id()));
+      res.sites.push_back(site);
+    }
+    directory.Register(res.entity, ids);  // region r -> the group's r-th site
+  }
+
+  // One router per region; clients talk only to their region's router.
+  std::vector<core::EntityRouter*> routers;
+  for (int r = 0; r < 5; ++r) {
+    core::EntityRouterOptions ropts;
+    ropts.directory = &directory;
+    ropts.region_index = r;
+    routers.push_back(cluster.AddNode<core::EntityRouter>(
+        sim::kPaperRegions[static_cast<size_t>(r)], ropts));
+  }
+
+  // Mixed workload per region: every request carries its entity id.
+  Rng rng(4);
+  std::vector<harness::WorkloadClient*> clients;
+  for (int r = 0; r < 5; ++r) {
+    std::vector<workload::Request> script;
+    (void)script;  // requests are built manually below with entity ids
+    harness::WorkloadClientOptions copts;
+    copts.servers = {routers[static_cast<size_t>(r)]->id()};
+    clients.push_back(cluster.AddNode<harness::WorkloadClient>(
+        sim::kPaperRegions[static_cast<size_t>(r)], copts,
+        std::vector<workload::Request>{}));
+  }
+  // WorkloadClient scripts carry no entity field, so drive mixed-entity
+  // traffic with a bare probe instead.
+  struct Probe : sim::Node {
+    Probe(sim::NodeId id, sim::Region region) : Node(id, region) {}
+    void HandleMessage(sim::NodeId, uint32_t, BufferReader& r) override {
+      auto resp = TokenResponse::DecodeFrom(r);
+      if (resp->committed()) ++committed;
+      ++responses;
+    }
+    void Issue(sim::NodeId router, uint32_t entity, TokenOp op, int64_t n) {
+      TokenRequest req;
+      req.request_id = next_id++;
+      req.entity = entity;
+      req.op = op;
+      req.amount = n;
+      BufferWriter w;
+      req.EncodeTo(w);
+      Send(router, kMsgTokenRequest, w);
+    }
+    uint64_t next_id = 1;
+    int committed = 0;
+    int responses = 0;
+  };
+  auto* probe = cluster.AddNode<Probe>(sim::Region::kUsWest1);
+  cluster.StartAll();
+
+  int issued = 0;
+  for (int round = 0; round < 600; ++round) {
+    const auto& res = resources[rng.NextUint64(3)];
+    const int region = static_cast<int>(rng.NextUint64(5));
+    const bool release = rng.Bernoulli(0.3);
+    probe->Issue(routers[static_cast<size_t>(region)]->id(), res.entity,
+                 release ? TokenOp::kRelease : TokenOp::kAcquire,
+                 rng.UniformInt(1, res.entity == 2 ? 40 : 5));
+    ++issued;
+    cluster.env().RunFor(Millis(20));
+  }
+  cluster.env().RunFor(Seconds(5));
+
+  std::printf("issued %d mixed transactions; %d committed\n\n", issued,
+              probe->committed);
+  for (const auto& res : resources) {
+    int64_t pool = 0;
+    uint64_t redistributions = 0;
+    for (auto* s : res.sites) {
+      pool += s->tokens_left();
+      redistributions += s->stats().reactive_redistributions +
+                         s->stats().proactive_redistributions;
+    }
+    std::printf("%-10s limit=%-6lld pooled=%-6lld in-use=%-6lld "
+                "redistributions=%llu\n",
+                res.name, static_cast<long long>(res.limit),
+                static_cast<long long>(pool),
+                static_cast<long long>(res.limit - pool),
+                static_cast<unsigned long long>(redistributions));
+  }
+  std::printf("\neach resource is isolated: its tokens, its sites, its own "
+              "Avantan instances.\n");
+  return 0;
+}

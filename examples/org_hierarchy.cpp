@@ -1,0 +1,122 @@
+// The paper's Fig 1 scenario end to end: ultraCloud tracks eCommerce.com's
+// VM usage. Teams sit in a quota hierarchy (leaf usage percolates to the
+// root, §1); the root-level availability is dis-aggregated across a Samya
+// deployment so that team-level VM creations commit at the nearest site
+// without a global consensus round.
+//
+// Each region hosts one org team; the region's tracking front-end keeps the
+// team's slice of the hierarchy and charges/refunds it as Samya commits.
+
+#include <cstdio>
+
+#include "core/hierarchy.h"
+#include "core/site.h"
+#include "harness/workload_client.h"
+#include "sim/cluster.h"
+
+using namespace samya;  // NOLINT — example code
+
+int main() {
+  std::printf("Fig 1: eCommerce.com under ultraCloud, VM limit 5000\n\n");
+
+  // The org structure (application-side, maintained by the tracking service).
+  core::QuotaHierarchy org("eCommerce.com", 5000);
+  const auto retail = org.AddNode("retail", org.root()).value();
+  const auto clothing = org.AddNode("clothing", retail, 1200).value();
+  const auto electronics = org.AddNode("electronics", retail, 1500).value();
+  const auto platform = org.AddNode("platform", org.root()).value();
+  const auto search = org.AddNode("search", platform, 1000).value();
+  const auto ads = org.AddNode("ads", platform, 900).value();
+  const auto ml = org.AddNode("ml", platform, 2000).value();
+  const core::OrgNodeId teams[5] = {clothing, electronics, search, ads, ml};
+
+  // The storage side: root availability dis-aggregated over 5 Samya sites.
+  sim::Cluster cluster(99);
+  std::vector<sim::NodeId> site_ids = {0, 1, 2, 3, 4};
+  std::vector<core::Site*> sites;
+  for (int i = 0; i < 5; ++i) {
+    core::SiteOptions opts;
+    opts.sites = site_ids;
+    opts.initial_tokens = 1000;
+    opts.protocol = core::Protocol::kAvantanAny;
+    opts.enable_prediction = false;
+    auto* site = cluster.AddNode<core::Site>(
+        sim::kPaperRegions[static_cast<size_t>(i)], opts);
+    site->set_storage(cluster.StorageFor(site->id()));
+    sites.push_back(site);
+  }
+
+  // Each team creates VMs against its regional site; the sub-limits are
+  // enforced in the hierarchy before the token acquire is even attempted.
+  Rng rng(5);
+  struct Counters {
+    int created = 0, denied_sublimit = 0, denied_global = 0;
+  } totals[5];
+  std::vector<harness::WorkloadClient*> clients;  // unused; direct drive below
+
+  // Drive synchronously through the simulation: each team issues a burst of
+  // VM creations; we consult the hierarchy first, then Samya.
+  struct Probe : sim::Node {
+    Probe(sim::NodeId id, sim::Region region) : Node(id, region) {}
+    void HandleMessage(sim::NodeId, uint32_t, BufferReader& r) override {
+      auto resp = TokenResponse::DecodeFrom(r);
+      last_committed = resp->committed();
+      ++responses;
+    }
+    void Acquire(sim::NodeId site, int64_t n) {
+      TokenRequest req;
+      req.request_id = next_id++;
+      req.op = TokenOp::kAcquire;
+      req.amount = n;
+      BufferWriter w;
+      req.EncodeTo(w);
+      Send(site, kMsgTokenRequest, w);
+    }
+    uint64_t next_id = 1;
+    int responses = 0;
+    bool last_committed = false;
+  };
+  auto* probe = cluster.AddNode<Probe>(sim::Region::kUsWest1);
+  cluster.StartAll();
+
+  for (int round = 0; round < 400; ++round) {
+    const int team = static_cast<int>(rng.NextUint64(5));
+    const int64_t vms = rng.UniformInt(1, 12);
+    // 1. Hierarchy check: team and org-unit sub-limits.
+    Status charge = org.Charge(teams[team], vms);
+    if (!charge.ok()) {
+      ++totals[team].denied_sublimit;
+      continue;
+    }
+    // 2. Global availability through Samya (the hot root record).
+    const int expected = probe->responses + 1;
+    probe->Acquire(site_ids[static_cast<size_t>(team)], vms);
+    while (probe->responses < expected) cluster.env().Step();
+    cluster.env().RunFor(Millis(5));
+    if (probe->last_committed) {
+      ++totals[team].created;
+    } else {
+      ++totals[team].denied_global;
+      // Roll the hierarchy back: the global limit said no.
+      (void)org.Refund(teams[team], vms);
+    }
+  }
+  cluster.env().RunFor(Seconds(5));
+
+  static const char* kNames[5] = {"clothing", "electronics", "search", "ads",
+                                  "ml"};
+  for (int t = 0; t < 5; ++t) {
+    std::printf("%-12s creations=%-4d denied(sub-limit)=%-3d "
+                "denied(global)=%d\n",
+                kNames[t], totals[t].created, totals[t].denied_sublimit,
+                totals[t].denied_global);
+  }
+  std::printf("\norg tree (usage / limit):\n%s", org.ToString().c_str());
+
+  int64_t pool = 0;
+  for (auto* s : sites) pool += s->tokens_left();
+  std::printf("\naudit: root usage %lld + pooled %lld = 5000\n",
+              static_cast<long long>(org.Usage(org.root()).value()),
+              static_cast<long long>(pool));
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Geo-distributed rate limiting (§1 "Other Applications"): an API platform
+// enforces a global quota of 3000 in-flight request slots across five edge
+// locations. Each admitted API call acquires a slot and releases it when it
+// finishes; the platform must never admit more than the quota allows.
+//
+// The example exercises the pluggable Redistribution Module: it runs the
+// same bursty workload with the paper's greedy reallocator (maximise token
+// usage) and with the proportional reallocator, and reports the difference.
+
+#include <cstdio>
+#include <memory>
+
+#include "core/reallocator.h"
+#include "core/site.h"
+#include "harness/workload_client.h"
+#include "sim/cluster.h"
+
+using namespace samya;  // NOLINT — example code
+
+namespace {
+
+int64_t RunLimiter(std::shared_ptr<core::Reallocator> reallocator,
+                   const char* name) {
+  sim::Cluster cluster(/*seed=*/33);
+  std::vector<sim::NodeId> edges = {0, 1, 2, 3, 4};
+  std::vector<core::Site*> sites;
+  for (int i = 0; i < 5; ++i) {
+    core::SiteOptions opts;
+    opts.sites = edges;
+    opts.initial_tokens = 600;  // 3000-slot quota, split evenly
+    opts.protocol = core::Protocol::kAvantanMajority;
+    opts.enable_prediction = false;
+    opts.reallocator = reallocator;
+    auto* site = cluster.AddNode<core::Site>(
+        sim::kPaperRegions[static_cast<size_t>(i)], opts);
+    site->set_storage(cluster.StorageFor(site->id()));
+    sites.push_back(site);
+  }
+
+  // Bursty edges: short admission storms (acquire) with slot releases
+  // lagging ~2 seconds (request completion).
+  Rng rng(33);
+  std::vector<harness::WorkloadClient*> clients;
+  for (int r = 0; r < 5; ++r) {
+    std::vector<workload::Request> script;
+    SimTime t = Millis(100);
+    while (t < Minutes(4)) {
+      const bool storm = rng.Bernoulli(0.2);
+      const int calls = storm ? 250 : 25;
+      for (int k = 0; k < calls; ++k) {
+        const SimTime at = t + rng.UniformInt(0, Seconds(5));
+        script.push_back({at, workload::Request::Type::kAcquire, 1});
+        script.push_back(
+            {at + Seconds(2), workload::Request::Type::kRelease, 1});
+      }
+      t += Seconds(5);
+    }
+    std::sort(script.begin(), script.end(),
+              [](const auto& a, const auto& b) { return a.at < b.at; });
+    harness::WorkloadClientOptions copts;
+    copts.servers = {static_cast<sim::NodeId>(r)};
+    clients.push_back(cluster.AddNode<harness::WorkloadClient>(
+        sim::kPaperRegions[static_cast<size_t>(r)], copts, script));
+  }
+
+  cluster.StartAll();
+  cluster.env().RunFor(Minutes(5));
+
+  uint64_t admitted = 0, denied = 0;
+  for (auto* c : clients) {
+    admitted += c->stats().committed_acquires;
+    denied += c->stats().rejected + c->stats().dropped;
+  }
+  int64_t pool = 0;
+  for (auto* s : sites) pool += s->tokens_left();
+  std::printf("  %-14s admitted=%-7llu denied=%-6llu slots free at end=%lld\n",
+              name, static_cast<unsigned long long>(admitted),
+              static_cast<unsigned long long>(denied),
+              static_cast<long long>(pool));
+  return static_cast<int64_t>(admitted);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Global API rate limiter: 3000 concurrent slots, 5 edges, "
+              "bursty admission storms\n\n");
+  RunLimiter(std::make_shared<core::GreedyReallocator>(), "greedy");
+  RunLimiter(std::make_shared<core::ProportionalReallocator>(), "proportional");
+  std::printf("\nthe Redistribution Module is pluggable (§4.4): both policies "
+              "enforce the same quota,\nbut split scarce slots differently "
+              "across competing edges.\n");
+  return 0;
+}

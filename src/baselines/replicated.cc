@@ -1,0 +1,51 @@
+#include "baselines/replicated.h"
+
+#include "consensus/token_sm.h"
+
+namespace samya::baselines {
+
+ReplicatedGroup CreateMultiPaxSys(sim::Cluster& cluster, int64_t max_tokens,
+                                  size_t max_pending) {
+  ReplicatedGroup group;
+  const sim::NodeId first = static_cast<sim::NodeId>(cluster.num_nodes());
+  std::vector<sim::NodeId> ids;
+  for (int i = 0; i < 5; ++i) ids.push_back(first + i);
+
+  for (int i = 0; i < 5; ++i) {
+    consensus::MultiPaxosOptions opts;
+    opts.group = ids;
+    opts.initial_leader = first;  // us-west1, adjacent to the US majority
+    opts.max_pending = max_pending;
+    auto* node = cluster.AddNode<consensus::MultiPaxosNode>(
+        kReplicatedPlacement[static_cast<size_t>(i)], opts,
+        std::make_unique<consensus::TokenStateMachine>(max_tokens));
+    node->set_storage(cluster.StorageFor(node->id()));
+    group.multipaxos.push_back(node);
+  }
+  group.replica_ids = ids;
+  return group;
+}
+
+ReplicatedGroup CreateCockroachLike(sim::Cluster& cluster, int64_t max_tokens,
+                                    size_t max_pending) {
+  ReplicatedGroup group;
+  const sim::NodeId first = static_cast<sim::NodeId>(cluster.num_nodes());
+  std::vector<sim::NodeId> ids;
+  for (int i = 0; i < 5; ++i) ids.push_back(first + i);
+
+  for (int i = 0; i < 5; ++i) {
+    consensus::RaftOptions opts;
+    opts.group = ids;
+    opts.initial_leader = first;
+    opts.max_pending = max_pending;
+    auto* node = cluster.AddNode<consensus::RaftNode>(
+        kReplicatedPlacement[static_cast<size_t>(i)], opts,
+        std::make_unique<consensus::TokenStateMachine>(max_tokens));
+    node->set_storage(cluster.StorageFor(node->id()));
+    group.raft.push_back(node);
+  }
+  group.replica_ids = ids;
+  return group;
+}
+
+}  // namespace samya::baselines

@@ -1,0 +1,39 @@
+#ifndef SAMYA_BASELINES_REPLICATED_H_
+#define SAMYA_BASELINES_REPLICATED_H_
+
+#include <vector>
+
+#include "consensus/multipaxos.h"
+#include "consensus/raft.h"
+#include "sim/cluster.h"
+
+namespace samya::baselines {
+
+/// Replica placement of the MultiPaxSys / CockroachDB-like baselines (§5.2):
+/// "3 out of 5 sites in different regions within the US, and 2 others in
+/// Asia and Europe", leader in us-west1.
+inline constexpr std::array<sim::Region, 5> kReplicatedPlacement = {
+    sim::Region::kUsWest1, sim::Region::kUsCentral1, sim::Region::kUsEast1,
+    sim::Region::kEuropeWest2, sim::Region::kAsiaEast2};
+
+/// A deployed 5-replica group (either protocol); `replica_ids` are the
+/// node ids clients should target.
+struct ReplicatedGroup {
+  std::vector<sim::NodeId> replica_ids;
+  std::vector<consensus::MultiPaxosNode*> multipaxos;  // kMultiPaxSys only
+  std::vector<consensus::RaftNode*> raft;              // kCockroachLike only
+};
+
+/// Builds the paper's MultiPaxSys baseline: a 5-replica leader-based
+/// multi-Paxos group replicating a bounded token counter with limit M_e.
+ReplicatedGroup CreateMultiPaxSys(sim::Cluster& cluster, int64_t max_tokens,
+                                  size_t max_pending = 2);
+
+/// Builds the CockroachDB-like baseline: the same placement and state
+/// machine, replicated with Raft.
+ReplicatedGroup CreateCockroachLike(sim::Cluster& cluster, int64_t max_tokens,
+                                    size_t max_pending = 2);
+
+}  // namespace samya::baselines
+
+#endif  // SAMYA_BASELINES_REPLICATED_H_

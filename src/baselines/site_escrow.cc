@@ -1,0 +1,246 @@
+#include "baselines/site_escrow.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace samya::baselines {
+
+namespace {
+constexpr uint64_t kGossipTimer = 1;
+constexpr uint64_t kTransferTimeoutTimer = 2;
+}  // namespace
+
+SiteEscrowSite::SiteEscrowSite(sim::NodeId id, sim::Region region,
+                               SiteEscrowOptions opts)
+    : Node(id, region), opts_(std::move(opts)) {
+  SAMYA_CHECK(!opts_.sites.empty());
+}
+
+void SiteEscrowSite::Start() {
+  tokens_left_ = opts_.initial_tokens;
+  // Seed the view with the uniform initial allocation.
+  for (sim::NodeId peer : opts_.sites) {
+    if (peer != id()) view_[peer] = {opts_.initial_tokens, 0};
+  }
+  SetTimer(opts_.gossip_interval, kGossipTimer);
+}
+
+void SiteEscrowSite::HandleTimer(uint64_t token) {
+  if (token == kGossipTimer) {
+    SendGossip();
+    SetTimer(opts_.gossip_interval, kGossipTimer);
+    return;
+  }
+  SAMYA_CHECK_EQ(token, kTransferTimeoutTimer);
+  // The asked peer never answered (e.g. crashed): write it down as broke in
+  // our view and move on to the next candidate.
+  if (!transferring_) return;
+  outstanding_transfer_ = 0;
+  AskRichestPeer();
+}
+
+void SiteEscrowSite::SendGossip() {
+  ++gossip_rounds_;
+  ++gossip_stamp_;
+  BufferWriter w;
+  w.PutVarint(gossip_stamp_);
+  w.PutVarintSigned(tokens_left_);
+  // Epidemic push to `fanout` random distinct peers.
+  std::vector<sim::NodeId> peers;
+  for (sim::NodeId peer : opts_.sites) {
+    if (peer != id()) peers.push_back(peer);
+  }
+  for (int k = 0; k < opts_.gossip_fanout && !peers.empty(); ++k) {
+    const size_t pick = rng().NextUint64(peers.size());
+    Send(peers[pick], kMsgGossip, w);
+    peers.erase(peers.begin() + static_cast<long>(pick));
+  }
+}
+
+void SiteEscrowSite::OnGossip(sim::NodeId from, BufferReader& r) {
+  const uint64_t stamp = r.GetVarint().value();
+  const int64_t level = r.GetVarintSigned().value();
+  auto& entry = view_[from];
+  if (stamp > entry.second) entry = {level, stamp};
+}
+
+void SiteEscrowSite::HandleMessage(sim::NodeId from, uint32_t type,
+                                   BufferReader& r) {
+  switch (type) {
+    case kMsgTokenRequest: {
+      auto req = TokenRequest::DecodeFrom(r);
+      if (!req.ok()) return;
+      if (req->op != TokenOp::kRead && req->amount <= 0) {
+        Respond(from, req->request_id, TokenStatus::kRejected, tokens_left_);
+        return;
+      }
+      if (req->op != TokenOp::kRead) {
+        if (const int64_t* cached = LookupWrite(req->request_id)) {
+          Respond(from, req->request_id, TokenStatus::kCommitted, *cached);
+          return;
+        }
+      }
+      ServeOrTransfer(from, *req);
+      return;
+    }
+    case kMsgGossip:
+      OnGossip(from, r);
+      return;
+    case kMsgEscrowTransferRequest:
+      OnTransferRequest(from, r);
+      return;
+    case kMsgEscrowTransferReply:
+      OnTransferReply(r);
+      return;
+    default:
+      SAMYA_CHECK_MSG(false, "site-escrow: unknown message type %u", type);
+  }
+}
+
+void SiteEscrowSite::ServeOrTransfer(sim::NodeId client,
+                                     const TokenRequest& req) {
+  if (transferring_ && req.op == TokenOp::kAcquire) {
+    queue_.push_back(QueuedRequest{client, req});
+    return;
+  }
+  if (ServeLocally(client, req)) return;
+  queue_.push_back(QueuedRequest{client, req});
+  StartTransferRound(req.amount + opts_.transfer_slack);
+}
+
+bool SiteEscrowSite::ServeLocally(sim::NodeId client,
+                                  const TokenRequest& req) {
+  switch (req.op) {
+    case TokenOp::kAcquire:
+      if (tokens_left_ >= req.amount) {
+        tokens_left_ -= req.amount;
+        RememberWrite(req.request_id, tokens_left_);
+        Respond(client, req.request_id, TokenStatus::kCommitted, tokens_left_);
+        return true;
+      }
+      return false;
+    case TokenOp::kRelease:
+      tokens_left_ += req.amount;
+      RememberWrite(req.request_id, tokens_left_);
+      Respond(client, req.request_id, TokenStatus::kCommitted, tokens_left_);
+      return true;
+    case TokenOp::kRead: {
+      // Gossip gives an (approximate) global view for free.
+      int64_t total = tokens_left_;
+      for (const auto& [peer, entry] : view_) total += entry.first;
+      Respond(client, req.request_id, TokenStatus::kCommitted, total);
+      return true;
+    }
+  }
+  return false;
+}
+
+void SiteEscrowSite::StartTransferRound(int64_t needed) {
+  transferring_ = true;
+  needed_ = needed;
+  ++transfers_requested_;
+  // Candidates: peers by gossiped escrow level, richest first.
+  candidates_.clear();
+  for (const auto& [peer, entry] : view_) candidates_.push_back(peer);
+  std::sort(candidates_.begin(), candidates_.end(),
+            [this](sim::NodeId a, sim::NodeId b) {
+              return view_[a].first > view_[b].first;
+            });
+  AskRichestPeer();
+}
+
+void SiteEscrowSite::AskRichestPeer() {
+  while (!candidates_.empty() && view_[candidates_.front()].first <= 0) {
+    candidates_.erase(candidates_.begin());
+  }
+  if (candidates_.empty() || needed_ <= 0) {
+    transferring_ = false;
+    DrainQueue();
+    return;
+  }
+  const sim::NodeId peer = candidates_.front();
+  candidates_.erase(candidates_.begin());
+  outstanding_transfer_ = next_transfer_id_++;
+  BufferWriter w;
+  w.PutU64(outstanding_transfer_);
+  w.PutVarintSigned(needed_);
+  Send(peer, kMsgEscrowTransferRequest, w);
+  CancelTimer(transfer_timer_);
+  transfer_timer_ = SetTimer(opts_.transfer_timeout, kTransferTimeoutTimer);
+}
+
+void SiteEscrowSite::OnTransferRequest(sim::NodeId from, BufferReader& r) {
+  const uint64_t transfer_id = r.GetU64().value();
+  const int64_t requested = r.GetVarintSigned().value();
+  // Grant up to half of the local escrow (debit before the grant travels).
+  const int64_t granted =
+      std::clamp<int64_t>(requested, 0, tokens_left_ / 2);
+  tokens_left_ -= granted;
+  BufferWriter w;
+  w.PutU64(transfer_id);
+  w.PutVarintSigned(granted);
+  Send(from, kMsgEscrowTransferReply, w);
+}
+
+void SiteEscrowSite::OnTransferReply(BufferReader& r) {
+  const uint64_t transfer_id = r.GetU64().value();
+  const int64_t granted = r.GetVarintSigned().value();
+  if (transfer_id != outstanding_transfer_) return;  // stale/timed out
+  outstanding_transfer_ = 0;
+  CancelTimer(transfer_timer_);
+  tokens_left_ += granted;
+  needed_ -= granted;
+  if (needed_ > 0) {
+    AskRichestPeer();
+  } else {
+    transferring_ = false;
+    DrainQueue();
+  }
+}
+
+void SiteEscrowSite::DrainQueue() {
+  while (!transferring_ && !queue_.empty()) {
+    QueuedRequest q = std::move(queue_.front());
+    queue_.pop_front();
+    if (ServeLocally(q.client, q.request)) continue;
+    if (!candidates_.empty()) {
+      queue_.push_front(std::move(q));
+      transferring_ = true;
+      needed_ = queue_.front().request.amount + opts_.transfer_slack;
+      AskRichestPeer();
+      return;
+    }
+    Respond(q.client, q.request.request_id, TokenStatus::kRejected,
+            tokens_left_);
+  }
+}
+
+void SiteEscrowSite::Respond(sim::NodeId client, uint64_t request_id,
+                             TokenStatus status, int64_t value) {
+  TokenResponse resp;
+  resp.request_id = request_id;
+  resp.status = status;
+  resp.value = value;
+  BufferWriter w;
+  resp.EncodeTo(w);
+  Send(client, kMsgTokenResponse, w);
+}
+
+void SiteEscrowSite::RememberWrite(uint64_t request_id, int64_t value) {
+  if (committed_writes_.size() >= kDedupGenerationSize) {
+    committed_writes_prev_ = std::move(committed_writes_);
+    committed_writes_ = {};
+  }
+  committed_writes_[request_id] = value;
+}
+
+const int64_t* SiteEscrowSite::LookupWrite(uint64_t request_id) const {
+  auto it = committed_writes_.find(request_id);
+  if (it != committed_writes_.end()) return &it->second;
+  it = committed_writes_prev_.find(request_id);
+  if (it != committed_writes_prev_.end()) return &it->second;
+  return nullptr;
+}
+
+}  // namespace samya::baselines

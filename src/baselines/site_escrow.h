@@ -1,0 +1,105 @@
+#ifndef SAMYA_BASELINES_SITE_ESCROW_H_
+#define SAMYA_BASELINES_SITE_ESCROW_H_
+
+#include <deque>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "common/token_api.h"
+#include "sim/node.h"
+
+namespace samya::baselines {
+
+/// Message types 260-269.
+inline constexpr uint32_t kMsgGossip = 260;
+inline constexpr uint32_t kMsgEscrowTransferRequest = 261;
+inline constexpr uint32_t kMsgEscrowTransferReply = 262;
+
+struct SiteEscrowOptions {
+  std::vector<sim::NodeId> sites;  ///< all sites, including self
+  int64_t initial_tokens = 1000;   ///< equal escrow share of M_e
+  /// Gossip cadence: each round, the site sends its escrow level to
+  /// `gossip_fanout` random peers (epidemic dissemination, per [18]).
+  Duration gossip_interval = Seconds(1);
+  int gossip_fanout = 2;
+  /// On exhaustion, ask the richest known peer for this fraction of the
+  /// shortfall-adjusted need.
+  int64_t transfer_slack = 25;
+  Duration transfer_timeout = Millis(800);
+};
+
+/// \brief Generalised Site Escrow baseline (Krishnakumar & Bernstein, VLDB
+/// '92 — the paper's related work §2): sites serve from local escrow and use
+/// *gossip* to maintain an (eventually consistent) view of every peer's
+/// escrow level; on exhaustion a site asks the richest peer it knows of for
+/// a transfer.
+///
+/// Contrast with Demarcation/Escrow (blind round-robin borrowing) and with
+/// Samya (consensus on a global snapshot plus deterministic reallocation):
+/// gossip steers transfers toward actual surplus but the view is stale, so
+/// transfers can miss under fast-moving demand. Pairwise transfers conserve
+/// tokens (debit-before-grant); a transfer request that finds no surplus is
+/// declined and the requester tries its next-richest known peer.
+class SiteEscrowSite : public sim::Node {
+ public:
+  SiteEscrowSite(sim::NodeId id, sim::Region region, SiteEscrowOptions opts);
+
+  void Start() override;
+  void HandleMessage(sim::NodeId from, uint32_t type,
+                     BufferReader& r) override;
+  void HandleTimer(uint64_t token) override;
+
+  int64_t tokens_left() const { return tokens_left_; }
+  uint64_t transfers_requested() const { return transfers_requested_; }
+  uint64_t gossip_rounds() const { return gossip_rounds_; }
+
+ private:
+  struct QueuedRequest {
+    sim::NodeId client = sim::kInvalidNode;
+    TokenRequest request;
+  };
+
+  void ServeOrTransfer(sim::NodeId client, const TokenRequest& req);
+  bool ServeLocally(sim::NodeId client, const TokenRequest& req);
+  void Respond(sim::NodeId client, uint64_t request_id, TokenStatus status,
+               int64_t value);
+  void StartTransferRound(int64_t needed);
+  void AskRichestPeer();
+  void DrainQueue();
+  void SendGossip();
+
+  void OnGossip(sim::NodeId from, BufferReader& r);
+  void OnTransferRequest(sim::NodeId from, BufferReader& r);
+  void OnTransferReply(BufferReader& r);
+
+  SiteEscrowOptions opts_;
+  int64_t tokens_left_ = 0;
+
+  // Eventually consistent escrow view: peer -> (level, as-of gossip stamp).
+  std::map<sim::NodeId, std::pair<int64_t, uint64_t>> view_;
+  uint64_t gossip_stamp_ = 0;
+
+  // Transfer round state (one at a time).
+  bool transferring_ = false;
+  int64_t needed_ = 0;
+  std::vector<sim::NodeId> candidates_;  // richest-first, not yet asked
+  uint64_t next_transfer_id_ = 1;
+  uint64_t outstanding_transfer_ = 0;
+  uint64_t transfer_timer_ = 0;
+  std::deque<QueuedRequest> queue_;
+
+  uint64_t transfers_requested_ = 0;
+  uint64_t gossip_rounds_ = 0;
+
+  // At-most-once guard (see core::Site), bounded by rotation.
+  static constexpr size_t kDedupGenerationSize = 1 << 17;
+  std::unordered_map<uint64_t, int64_t> committed_writes_;
+  std::unordered_map<uint64_t, int64_t> committed_writes_prev_;
+  void RememberWrite(uint64_t request_id, int64_t value);
+  const int64_t* LookupWrite(uint64_t request_id) const;
+};
+
+}  // namespace samya::baselines
+
+#endif  // SAMYA_BASELINES_SITE_ESCROW_H_

@@ -1,0 +1,86 @@
+#ifndef SAMYA_COMMON_CODEC_H_
+#define SAMYA_COMMON_CODEC_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace samya {
+
+/// \file
+/// Byte-level wire codec. Every protocol message in the repository is encoded
+/// with `BufferWriter` and decoded with `BufferReader`; the simulator moves
+/// byte buffers only, so the codec is exercised by every test and benchmark.
+///
+/// Encoding primitives: fixed-width little-endian integers, LEB128 varints,
+/// zig-zag signed varints, length-prefixed strings, and IEEE-754 doubles.
+
+/// Append-only encoder producing a `std::vector<uint8_t>` buffer.
+class BufferWriter {
+ public:
+  BufferWriter() = default;
+
+  void PutU8(uint8_t v) { buf_.push_back(v); }
+  void PutU16(uint16_t v);
+  void PutU32(uint32_t v);
+  void PutU64(uint64_t v);
+  void PutI64(int64_t v) { PutU64(static_cast<uint64_t>(v)); }
+  void PutDouble(double v);
+
+  /// Unsigned LEB128 varint.
+  void PutVarint(uint64_t v);
+  /// Zig-zag-encoded signed varint.
+  void PutVarintSigned(int64_t v);
+
+  /// Length-prefixed (varint) byte string.
+  void PutString(const std::string& s);
+  void PutBytes(const uint8_t* data, size_t n);
+  void PutBool(bool b) { PutU8(b ? 1 : 0); }
+
+  const std::vector<uint8_t>& buffer() const { return buf_; }
+  std::vector<uint8_t> Release() { return std::move(buf_); }
+  size_t size() const { return buf_.size(); }
+
+ private:
+  std::vector<uint8_t> buf_;
+};
+
+/// Sequential decoder over a byte span. All getters return a `Result` (or
+/// Status-checked value) rather than trusting the buffer: a truncated or
+/// corrupt message surfaces as `kCorruption`, never as UB.
+class BufferReader {
+ public:
+  BufferReader(const uint8_t* data, size_t size)
+      : data_(data), size_(size), pos_(0) {}
+  explicit BufferReader(const std::vector<uint8_t>& buf)
+      : BufferReader(buf.data(), buf.size()) {}
+
+  Result<uint8_t> GetU8();
+  Result<uint16_t> GetU16();
+  Result<uint32_t> GetU32();
+  Result<uint64_t> GetU64();
+  Result<int64_t> GetI64();
+  Result<double> GetDouble();
+  Result<uint64_t> GetVarint();
+  Result<int64_t> GetVarintSigned();
+  Result<std::string> GetString();
+  Result<bool> GetBool();
+
+  size_t remaining() const { return size_ - pos_; }
+  bool Done() const { return pos_ == size_; }
+  size_t position() const { return pos_; }
+
+ private:
+  Status Need(size_t n) const;
+
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_;
+};
+
+}  // namespace samya
+
+#endif  // SAMYA_COMMON_CODEC_H_

@@ -1,0 +1,43 @@
+#include "common/crc32.h"
+
+namespace samya {
+
+namespace {
+
+constexpr uint32_t kPoly = 0x82f63b78;  // reflected CRC-32C polynomial
+
+struct Crc32cTable {
+  uint32_t t[256];
+  constexpr Crc32cTable() : t{} {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? (kPoly ^ (c >> 1)) : (c >> 1);
+      }
+      t[i] = c;
+    }
+  }
+};
+
+constexpr Crc32cTable kTable{};
+
+}  // namespace
+
+uint32_t Crc32c(const uint8_t* data, size_t n) {
+  uint32_t c = 0xffffffffu;
+  for (size_t i = 0; i < n; ++i) {
+    c = kTable.t[(c ^ data[i]) & 0xff] ^ (c >> 8);
+  }
+  return c ^ 0xffffffffu;
+}
+
+uint32_t MaskCrc(uint32_t crc) {
+  return ((crc >> 15) | (crc << 17)) + 0xa282ead8u;
+}
+
+uint32_t UnmaskCrc(uint32_t masked) {
+  uint32_t rot = masked - 0xa282ead8u;
+  return (rot << 15) | (rot >> 17);
+}
+
+}  // namespace samya

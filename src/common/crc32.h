@@ -1,0 +1,25 @@
+#ifndef SAMYA_COMMON_CRC32_H_
+#define SAMYA_COMMON_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace samya {
+
+/// CRC-32C (Castagnoli) checksum over a byte span. Used for WAL record and
+/// message-envelope integrity.
+uint32_t Crc32c(const uint8_t* data, size_t n);
+
+inline uint32_t Crc32c(const std::vector<uint8_t>& buf) {
+  return Crc32c(buf.data(), buf.size());
+}
+
+/// Masked form (RocksDB/LevelDB idiom): storing a CRC of data that itself
+/// contains CRCs is error-prone, so stored checksums are masked.
+uint32_t MaskCrc(uint32_t crc);
+uint32_t UnmaskCrc(uint32_t masked);
+
+}  // namespace samya
+
+#endif  // SAMYA_COMMON_CRC32_H_

@@ -1,0 +1,123 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+#include "common/macros.h"
+
+namespace samya {
+
+namespace {
+
+// Exponentially spaced bucket upper bounds: next = max(cur+1, cur*1.046),
+// covering [0, ~9e18] in ~1000 buckets (~4.6% relative error).
+const std::vector<int64_t>& BucketBounds() {
+  static const std::vector<int64_t>& bounds = *new std::vector<int64_t>([] {
+    std::vector<int64_t> b;
+    int64_t cur = 0;
+    while (cur < std::numeric_limits<int64_t>::max() / 2) {
+      int64_t next = std::max(cur + 1, static_cast<int64_t>(
+                                           static_cast<double>(cur) * 1.046));
+      b.push_back(next);
+      cur = next;
+    }
+    b.push_back(std::numeric_limits<int64_t>::max());
+    return b;
+  }());
+  return bounds;
+}
+
+}  // namespace
+
+Histogram::Histogram() : buckets_(BucketBounds().size(), 0) {}
+
+size_t Histogram::BucketFor(int64_t value) {
+  const auto& bounds = BucketBounds();
+  // First bucket whose upper bound is >= value.
+  auto it = std::lower_bound(bounds.begin(), bounds.end(), value);
+  return static_cast<size_t>(it - bounds.begin());
+}
+
+int64_t Histogram::BucketLower(size_t b) {
+  return b == 0 ? 0 : BucketBounds()[b - 1];
+}
+
+int64_t Histogram::BucketUpper(size_t b) { return BucketBounds()[b]; }
+
+void Histogram::Record(int64_t value) {
+  if (value < 0) value = 0;
+  ++buckets_[BucketFor(value)];
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+}
+
+void Histogram::Merge(const Histogram& other) {
+  SAMYA_CHECK_EQ(buckets_.size(), other.buckets_.size());
+  for (size_t i = 0; i < buckets_.size(); ++i) buckets_[i] += other.buckets_[i];
+  if (other.count_ > 0) {
+    if (count_ == 0) {
+      min_ = other.min_;
+      max_ = other.max_;
+    } else {
+      min_ = std::min(min_, other.min_);
+      max_ = std::max(max_, other.max_);
+    }
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+void Histogram::Clear() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  sum_ = 0;
+  min_ = max_ = 0;
+}
+
+int64_t Histogram::min() const { return count_ == 0 ? 0 : min_; }
+
+double Histogram::mean() const {
+  return count_ == 0 ? 0.0 : static_cast<double>(sum_ / count_);
+}
+
+double Histogram::Percentile(double p) const {
+  if (count_ == 0) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  const double target = p / 100.0 * static_cast<double>(count_);
+  uint64_t cum = 0;
+  for (size_t b = 0; b < buckets_.size(); ++b) {
+    if (buckets_[b] == 0) continue;
+    const uint64_t next = cum + buckets_[b];
+    if (static_cast<double>(next) >= target) {
+      // Linear interpolation within the bucket.
+      const double lo = static_cast<double>(std::max(BucketLower(b), min_));
+      const double hi = static_cast<double>(std::min(BucketUpper(b), max_));
+      const double frac =
+          (target - static_cast<double>(cum)) / static_cast<double>(buckets_[b]);
+      return lo + (hi - lo) * std::clamp(frac, 0.0, 1.0);
+    }
+    cum = next;
+  }
+  return static_cast<double>(max_);
+}
+
+std::string Histogram::ToString() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "count=%llu mean=%.2fms p50=%.2fms p90=%.2fms p95=%.2fms "
+                "p99=%.2fms max=%.2fms",
+                static_cast<unsigned long long>(count_), mean() / 1000.0,
+                P50() / 1000.0, P90() / 1000.0, P95() / 1000.0, P99() / 1000.0,
+                static_cast<double>(max_) / 1000.0);
+  return buf;
+}
+
+}  // namespace samya

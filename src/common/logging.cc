@@ -1,0 +1,37 @@
+#include "common/logging.h"
+
+#include <cstdio>
+
+namespace samya {
+
+LogLevel Logger::level_ = LogLevel::kWarn;
+
+namespace {
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO ";
+    case LogLevel::kWarn:
+      return "WARN ";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF  ";
+  }
+  return "?";
+}
+}  // namespace
+
+void Logger::Log(LogLevel level, const char* fmt, ...) {
+  if (level < level_) return;
+  std::fprintf(stderr, "[%s] ", LevelName(level));
+  va_list ap;
+  va_start(ap, fmt);
+  std::vfprintf(stderr, fmt, ap);
+  va_end(ap);
+  std::fprintf(stderr, "\n");
+}
+
+}  // namespace samya

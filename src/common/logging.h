@@ -1,0 +1,39 @@
+#ifndef SAMYA_COMMON_LOGGING_H_
+#define SAMYA_COMMON_LOGGING_H_
+
+#include <cstdarg>
+#include <string>
+
+namespace samya {
+
+enum class LogLevel { kDebug = 0, kInfo, kWarn, kError, kOff };
+
+/// \brief Minimal leveled logger.
+///
+/// Global level defaults to kWarn so experiment binaries stay quiet; tests and
+/// examples raise it where useful. Not thread-safe by design — the whole
+/// system runs on a single-threaded deterministic event loop.
+class Logger {
+ public:
+  static LogLevel level() { return level_; }
+  static void set_level(LogLevel level) { level_ = level; }
+
+  static void Log(LogLevel level, const char* fmt, ...)
+      __attribute__((format(printf, 2, 3)));
+
+ private:
+  static LogLevel level_;
+};
+
+#define SAMYA_LOG_DEBUG(...) \
+  ::samya::Logger::Log(::samya::LogLevel::kDebug, __VA_ARGS__)
+#define SAMYA_LOG_INFO(...) \
+  ::samya::Logger::Log(::samya::LogLevel::kInfo, __VA_ARGS__)
+#define SAMYA_LOG_WARN(...) \
+  ::samya::Logger::Log(::samya::LogLevel::kWarn, __VA_ARGS__)
+#define SAMYA_LOG_ERROR(...) \
+  ::samya::Logger::Log(::samya::LogLevel::kError, __VA_ARGS__)
+
+}  // namespace samya
+
+#endif  // SAMYA_COMMON_LOGGING_H_

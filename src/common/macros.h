@@ -1,0 +1,46 @@
+#ifndef SAMYA_COMMON_MACROS_H_
+#define SAMYA_COMMON_MACROS_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// \file
+/// Invariant-checking macros. Samya does not use exceptions (see DESIGN.md);
+/// recoverable errors flow through `Status`/`Result`, while programmer errors
+/// (broken invariants) abort the process with a source location.
+
+#define SAMYA_CHECK(cond)                                                    \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", __FILE__,          \
+                   __LINE__, #cond);                                         \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+#define SAMYA_CHECK_MSG(cond, ...)                                           \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "CHECK failed at %s:%d: %s: ", __FILE__,          \
+                   __LINE__, #cond);                                         \
+      std::fprintf(stderr, __VA_ARGS__);                                     \
+      std::fprintf(stderr, "\n");                                            \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+#define SAMYA_CHECK_EQ(a, b) SAMYA_CHECK((a) == (b))
+#define SAMYA_CHECK_NE(a, b) SAMYA_CHECK((a) != (b))
+#define SAMYA_CHECK_LE(a, b) SAMYA_CHECK((a) <= (b))
+#define SAMYA_CHECK_LT(a, b) SAMYA_CHECK((a) < (b))
+#define SAMYA_CHECK_GE(a, b) SAMYA_CHECK((a) >= (b))
+#define SAMYA_CHECK_GT(a, b) SAMYA_CHECK((a) > (b))
+
+/// Propagates a non-OK Status from an expression returning `Status`.
+#define SAMYA_RETURN_IF_ERROR(expr)                                          \
+  do {                                                                       \
+    ::samya::Status _st = (expr);                                            \
+    if (!_st.ok()) return _st;                                               \
+  } while (0)
+
+#endif  // SAMYA_COMMON_MACROS_H_

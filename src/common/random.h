@@ -1,0 +1,64 @@
+#ifndef SAMYA_COMMON_RANDOM_H_
+#define SAMYA_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <cmath>
+
+namespace samya {
+
+/// \brief Deterministic, seedable PRNG (xoshiro256**).
+///
+/// Every stochastic component (network jitter, workload noise, fault
+/// schedules, model initialization) draws from its own `Rng` stream derived
+/// from the experiment seed, so a seed fully determines a run.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) { Seed(seed); }
+
+  void Seed(uint64_t seed);
+
+  /// Uniform 64-bit value.
+  uint64_t Next();
+
+  /// Uniform in [0, n). Requires n > 0.
+  uint64_t NextUint64(uint64_t n);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  /// Standard normal via Box-Muller.
+  double NextGaussian();
+
+  /// Gaussian with the given mean / stddev.
+  double Gaussian(double mean, double stddev) {
+    return mean + stddev * NextGaussian();
+  }
+
+  /// Bernoulli trial with probability p of returning true.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  /// Exponentially distributed value with the given mean. mean > 0.
+  double Exponential(double mean);
+
+  /// Poisson-distributed count with the given mean (mean < ~700).
+  int64_t Poisson(double mean);
+
+  /// Derives an independent child stream; streams with distinct tags from the
+  /// same parent are decorrelated.
+  Rng Fork(uint64_t tag);
+
+ private:
+  uint64_t s_[4];
+  bool has_spare_gaussian_ = false;
+  double spare_gaussian_ = 0.0;
+};
+
+}  // namespace samya
+
+#endif  // SAMYA_COMMON_RANDOM_H_

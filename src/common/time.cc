@@ -1,0 +1,22 @@
+#include "common/time.h"
+
+#include <cstdio>
+
+namespace samya {
+
+std::string FormatDuration(Duration d) {
+  char buf[64];
+  if (d < kMillisecond) {
+    std::snprintf(buf, sizeof(buf), "%lldus", static_cast<long long>(d));
+  } else if (d < kSecond) {
+    std::snprintf(buf, sizeof(buf), "%.2fms", ToMillis(d));
+  } else if (d < kMinute) {
+    std::snprintf(buf, sizeof(buf), "%.2fs", ToSeconds(d));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1fmin",
+                  static_cast<double>(d) / kMinute);
+  }
+  return buf;
+}
+
+}  // namespace samya

@@ -1,0 +1,38 @@
+#ifndef SAMYA_COMMON_TIME_H_
+#define SAMYA_COMMON_TIME_H_
+
+#include <cstdint>
+#include <string>
+
+namespace samya {
+
+/// Simulated time, in microseconds since the start of the simulation.
+/// All protocol code deals in `SimTime`/`Duration` only; wall-clock time never
+/// leaks into protocol logic, which is what makes runs deterministic.
+using SimTime = int64_t;
+using Duration = int64_t;
+
+inline constexpr Duration kMicrosecond = 1;
+inline constexpr Duration kMillisecond = 1000 * kMicrosecond;
+inline constexpr Duration kSecond = 1000 * kMillisecond;
+inline constexpr Duration kMinute = 60 * kSecond;
+inline constexpr Duration kHour = 60 * kMinute;
+
+constexpr Duration Micros(int64_t n) { return n * kMicrosecond; }
+constexpr Duration Millis(int64_t n) { return n * kMillisecond; }
+constexpr Duration Seconds(int64_t n) { return n * kSecond; }
+constexpr Duration Minutes(int64_t n) { return n * kMinute; }
+
+constexpr double ToSeconds(Duration d) {
+  return static_cast<double>(d) / kSecond;
+}
+constexpr double ToMillis(Duration d) {
+  return static_cast<double>(d) / kMillisecond;
+}
+
+/// Formats a duration as e.g. "12.3ms" / "4.56s" for logs and tables.
+std::string FormatDuration(Duration d);
+
+}  // namespace samya
+
+#endif  // SAMYA_COMMON_TIME_H_

@@ -1,0 +1,75 @@
+#include "common/timeseries.h"
+
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+
+#include "common/macros.h"
+
+namespace samya {
+
+void RateSeries::Record(SimTime t, int64_t count) {
+  SAMYA_CHECK_GE(t, 0);
+  const size_t bin = static_cast<size_t>(t / interval_);
+  if (bin >= bins_.size()) bins_.resize(bin + 1, 0);
+  bins_[bin] += count;
+}
+
+int64_t RateSeries::total() const {
+  return std::accumulate(bins_.begin(), bins_.end(), int64_t{0});
+}
+
+double RateSeries::RatePerSecond(size_t i) const {
+  return static_cast<double>(bin(i)) / ToSeconds(interval_);
+}
+
+double RateSeries::MeanRate(SimTime from, SimTime to) const {
+  if (to <= from) return 0.0;
+  int64_t events = 0;
+  const size_t lo = static_cast<size_t>(from / interval_);
+  const size_t hi = static_cast<size_t>((to + interval_ - 1) / interval_);
+  for (size_t i = lo; i < hi && i < bins_.size(); ++i) events += bins_[i];
+  return static_cast<double>(events) / ToSeconds(to - from);
+}
+
+std::vector<double> RateSeries::Resample(Duration coarse) const {
+  SAMYA_CHECK_GT(coarse, 0);
+  SAMYA_CHECK_EQ(coarse % interval_, 0);
+  const size_t k = static_cast<size_t>(coarse / interval_);
+  std::vector<double> out;
+  for (size_t i = 0; i < bins_.size(); i += k) {
+    int64_t sum = 0;
+    for (size_t j = i; j < i + k && j < bins_.size(); ++j) sum += bins_[j];
+    out.push_back(static_cast<double>(sum) / ToSeconds(coarse));
+  }
+  return out;
+}
+
+std::string RateSeries::ToCsv(Duration coarse) const {
+  std::string s = "minute,tps\n";
+  const auto rates = Resample(coarse);
+  char line[64];
+  for (size_t i = 0; i < rates.size(); ++i) {
+    const double minute =
+        static_cast<double>(i) * static_cast<double>(coarse) / kMinute;
+    std::snprintf(line, sizeof(line), "%.2f,%.1f\n", minute, rates[i]);
+    s += line;
+  }
+  return s;
+}
+
+double Mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  return std::accumulate(xs.begin(), xs.end(), 0.0) /
+         static_cast<double>(xs.size());
+}
+
+double StdDev(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = Mean(xs);
+  double acc = 0.0;
+  for (double x : xs) acc += (x - m) * (x - m);
+  return std::sqrt(acc / static_cast<double>(xs.size() - 1));
+}
+
+}  // namespace samya

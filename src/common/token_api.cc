@@ -1,0 +1,43 @@
+#include "common/token_api.h"
+
+namespace samya {
+
+void TokenRequest::EncodeTo(BufferWriter& w) const {
+  w.PutU64(request_id);
+  w.PutVarint(entity);
+  w.PutU8(static_cast<uint8_t>(op));
+  w.PutVarintSigned(amount);
+}
+
+Result<TokenRequest> TokenRequest::DecodeFrom(BufferReader& r) {
+  TokenRequest req;
+  SAMYA_ASSIGN_OR_RETURN(req.request_id, r.GetU64());
+  SAMYA_ASSIGN_OR_RETURN(uint64_t entity, r.GetVarint());
+  req.entity = static_cast<uint32_t>(entity);
+  SAMYA_ASSIGN_OR_RETURN(uint8_t op, r.GetU8());
+  if (op < 1 || op > 3) return Status::Corruption("bad token op");
+  req.op = static_cast<TokenOp>(op);
+  SAMYA_ASSIGN_OR_RETURN(req.amount, r.GetVarintSigned());
+  return req;
+}
+
+void TokenResponse::EncodeTo(BufferWriter& w) const {
+  w.PutU64(request_id);
+  w.PutU8(static_cast<uint8_t>(status));
+  w.PutVarintSigned(value);
+  w.PutVarintSigned(leader_hint);
+}
+
+Result<TokenResponse> TokenResponse::DecodeFrom(BufferReader& r) {
+  TokenResponse resp;
+  SAMYA_ASSIGN_OR_RETURN(resp.request_id, r.GetU64());
+  SAMYA_ASSIGN_OR_RETURN(uint8_t status, r.GetU8());
+  if (status < 1 || status > 4) return Status::Corruption("bad token status");
+  resp.status = static_cast<TokenStatus>(status);
+  SAMYA_ASSIGN_OR_RETURN(resp.value, r.GetVarintSigned());
+  SAMYA_ASSIGN_OR_RETURN(int64_t hint, r.GetVarintSigned());
+  resp.leader_hint = static_cast<int32_t>(hint);
+  return resp;
+}
+
+}  // namespace samya

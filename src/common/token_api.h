@@ -1,0 +1,75 @@
+#ifndef SAMYA_COMMON_TOKEN_API_H_
+#define SAMYA_COMMON_TOKEN_API_H_
+
+#include <cstdint>
+
+#include "common/codec.h"
+#include "common/status.h"
+
+namespace samya {
+
+/// \file
+/// Client-facing token API shared by every system in the repository: Samya
+/// app managers/sites, MultiPaxSys, the Raft-based CockroachDB-like baseline,
+/// and Demarcation/Escrow all speak these two messages, so the experiment
+/// harness can drive them interchangeably.
+///
+/// Message-type registry (`sim::Network` carries a uint32 type per message):
+///   10-19   token client API (this file)
+///   100-119 multi-Paxos
+///   120-139 Raft
+///   140-149 single-decree Paxos
+///   200-229 Avantan (both versions)
+///   230-249 Samya site/app-manager internal
+///   250-269 Demarcation/Escrow
+
+inline constexpr uint32_t kMsgTokenRequest = 10;
+inline constexpr uint32_t kMsgTokenResponse = 11;
+
+/// The paper's transaction types (§3.2) plus the read-only global-snapshot
+/// transaction of §5.8.
+enum class TokenOp : uint8_t {
+  kAcquire = 1,  ///< acquireTokens(e, n)
+  kRelease = 2,  ///< releaseTokens(e, m)
+  kRead = 3,     ///< read total available tokens
+};
+
+/// A client transaction against an entity's token pool. `entity` selects
+/// the resource type (§3.2's e — VM, storage, bandwidth, …); single-entity
+/// deployments use the default 0.
+struct TokenRequest {
+  uint64_t request_id = 0;
+  uint32_t entity = 0;
+  TokenOp op = TokenOp::kAcquire;
+  int64_t amount = 1;
+
+  void EncodeTo(BufferWriter& w) const;
+  static Result<TokenRequest> DecodeFrom(BufferReader& r);
+};
+
+/// Final or retryable outcome of a token transaction.
+enum class TokenStatus : uint8_t {
+  kCommitted = 1,   ///< transaction committed
+  kRejected = 2,    ///< final: constraint Eq. 1 would be violated
+  kNotLeader = 3,   ///< retryable: resend to `leader_hint`
+  kOverloaded = 4,  ///< retryable: admission queue full, back off
+};
+
+/// Outcome of a token transaction, relayed back to the issuing client.
+struct TokenResponse {
+  uint64_t request_id = 0;
+  TokenStatus status = TokenStatus::kRejected;
+  /// For reads: the observed global token availability.
+  int64_t value = 0;
+  /// When a non-leader replica rejects a request it hints who leads.
+  int32_t leader_hint = -1;
+
+  bool committed() const { return status == TokenStatus::kCommitted; }
+
+  void EncodeTo(BufferWriter& w) const;
+  static Result<TokenResponse> DecodeFrom(BufferReader& r);
+};
+
+}  // namespace samya
+
+#endif  // SAMYA_COMMON_TOKEN_API_H_

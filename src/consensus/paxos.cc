@@ -1,0 +1,226 @@
+#include "consensus/paxos.h"
+
+#include "common/logging.h"
+#include "common/macros.h"
+
+namespace samya::consensus {
+
+namespace {
+constexpr uint64_t kRetryTimer = 1;
+
+const char* kKeyPromised = "paxos/promised";
+const char* kKeyAccepted = "paxos/accepted";
+}  // namespace
+
+PaxosNode::PaxosNode(sim::NodeId id, sim::Region region, Options opts)
+    : Node(id, region), opts_(std::move(opts)) {
+  SAMYA_CHECK(!opts_.group.empty());
+}
+
+void PaxosNode::Start() { LoadAcceptor(); }
+
+void PaxosNode::HandleCrash() {
+  // Volatile proposer state is lost; durable acceptor state remains in
+  // stable storage.
+  proposing_ = false;
+  promises_ = 0;
+  accepts_ = 0;
+  decided_.reset();
+  promised_ = Ballot{};
+  accepted_ballot_ = Ballot{};
+  accepted_value_.reset();
+}
+
+void PaxosNode::HandleRecover() { LoadAcceptor(); }
+
+void PaxosNode::PersistAcceptor() {
+  if (opts_.storage == nullptr) return;
+  BufferWriter w;
+  promised_.EncodeTo(w);
+  SAMYA_CHECK(opts_.storage->Put(kKeyPromised, w.buffer()).ok());
+  BufferWriter wa;
+  accepted_ballot_.EncodeTo(wa);
+  wa.PutBool(accepted_value_.has_value());
+  wa.PutVarintSigned(accepted_value_.value_or(0));
+  SAMYA_CHECK(opts_.storage->Put(kKeyAccepted, wa.buffer()).ok());
+}
+
+void PaxosNode::LoadAcceptor() {
+  if (opts_.storage == nullptr) return;
+  auto promised = opts_.storage->Get(kKeyPromised);
+  if (promised.ok()) {
+    BufferReader r(*promised);
+    promised_ = Ballot::DecodeFrom(r).value();
+  }
+  auto accepted = opts_.storage->Get(kKeyAccepted);
+  if (accepted.ok()) {
+    BufferReader r(*accepted);
+    accepted_ballot_ = Ballot::DecodeFrom(r).value();
+    if (r.GetBool().value()) {
+      accepted_value_ = r.GetVarintSigned().value();
+    } else {
+      r.GetVarintSigned().value();  // consume placeholder
+      accepted_value_.reset();
+    }
+  }
+}
+
+void PaxosNode::Propose(int64_t value) {
+  my_value_ = value;
+  proposing_ = true;
+  StartRound();
+}
+
+void PaxosNode::StartRound() {
+  if (decided_.has_value() || !proposing_) return;
+  ++round_;
+  current_ballot_ = Ballot{std::max(promised_.num, current_ballot_.num) + 1,
+                           id()};
+  promises_ = 0;
+  best_promise_ballot_ = Ballot{};
+  promise_value_.reset();
+  accepts_ = 0;
+
+  BufferWriter w;
+  current_ballot_.EncodeTo(w);
+  for (sim::NodeId peer : opts_.group) {
+    if (peer == id()) {
+      OnPrepare(id(), current_ballot_);
+    } else {
+      Send(peer, kMsgPaxosPrepare, w);
+    }
+  }
+  // Randomized retry avoids duelling proposers livelocking forever.
+  const Duration jitter = rng().UniformInt(0, opts_.retry_timeout / 2);
+  SetTimer(opts_.retry_timeout + jitter, kRetryTimer);
+}
+
+void PaxosNode::HandleTimer(uint64_t token) {
+  SAMYA_CHECK_EQ(token, kRetryTimer);
+  if (!decided_.has_value() && proposing_) StartRound();
+}
+
+void PaxosNode::HandleMessage(sim::NodeId from, uint32_t type,
+                              BufferReader& r) {
+  switch (type) {
+    case kMsgPaxosPrepare: {
+      OnPrepare(from, Ballot::DecodeFrom(r).value());
+      break;
+    }
+    case kMsgPaxosPromise: {
+      Ballot b = Ballot::DecodeFrom(r).value();
+      Ballot ab = Ballot::DecodeFrom(r).value();
+      const bool has = r.GetBool().value();
+      const int64_t v = r.GetVarintSigned().value();
+      OnPromise(from, b, ab, has, v);
+      break;
+    }
+    case kMsgPaxosAccept: {
+      Ballot b = Ballot::DecodeFrom(r).value();
+      OnAccept(from, b, r.GetVarintSigned().value());
+      break;
+    }
+    case kMsgPaxosAccepted: {
+      OnAccepted(from, Ballot::DecodeFrom(r).value());
+      break;
+    }
+    case kMsgPaxosLearn: {
+      OnLearn(r.GetVarintSigned().value());
+      break;
+    }
+    default:
+      SAMYA_CHECK_MSG(false, "paxos: unknown message type %u", type);
+  }
+}
+
+void PaxosNode::OnPrepare(sim::NodeId from, Ballot b) {
+  if (b > promised_) {
+    promised_ = b;
+    PersistAcceptor();
+  } else {
+    return;  // stale prepare: ignore (proposer will time out)
+  }
+  BufferWriter w;
+  b.EncodeTo(w);
+  accepted_ballot_.EncodeTo(w);
+  w.PutBool(accepted_value_.has_value());
+  w.PutVarintSigned(accepted_value_.value_or(0));
+  if (from == id()) {
+    BufferReader r(w.buffer());
+    Ballot rb = Ballot::DecodeFrom(r).value();
+    Ballot rab = Ballot::DecodeFrom(r).value();
+    const bool has = r.GetBool().value();
+    const int64_t v = r.GetVarintSigned().value();
+    OnPromise(id(), rb, rab, has, v);
+  } else {
+    Send(from, kMsgPaxosPromise, w);
+  }
+}
+
+void PaxosNode::OnPromise(sim::NodeId from, Ballot b, Ballot accepted_ballot,
+                          bool has_value, int64_t value) {
+  (void)from;
+  if (!proposing_ || b != current_ballot_) return;
+  ++promises_;
+  if (has_value && accepted_ballot > best_promise_ballot_) {
+    best_promise_ballot_ = accepted_ballot;
+    promise_value_ = value;
+  }
+  if (promises_ == static_cast<int>(Majority())) {
+    accept_value_ = promise_value_.value_or(my_value_);
+    BufferWriter w;
+    current_ballot_.EncodeTo(w);
+    w.PutVarintSigned(accept_value_);
+    for (sim::NodeId peer : opts_.group) {
+      if (peer == id()) {
+        OnAccept(id(), current_ballot_, accept_value_);
+      } else {
+        Send(peer, kMsgPaxosAccept, w);
+      }
+    }
+  }
+}
+
+void PaxosNode::OnAccept(sim::NodeId from, Ballot b, int64_t value) {
+  if (b < promised_) return;  // promised someone newer
+  promised_ = b;
+  accepted_ballot_ = b;
+  accepted_value_ = value;
+  PersistAcceptor();
+  BufferWriter w;
+  b.EncodeTo(w);
+  if (from == id()) {
+    OnAccepted(id(), b);
+  } else {
+    Send(from, kMsgPaxosAccepted, w);
+  }
+}
+
+void PaxosNode::OnAccepted(sim::NodeId from, Ballot b) {
+  (void)from;
+  if (!proposing_ || b != current_ballot_) return;
+  ++accepts_;
+  if (accepts_ == static_cast<int>(Majority())) {
+    OnLearn(accept_value_);
+    BufferWriter w;
+    w.PutVarintSigned(accept_value_);
+    for (sim::NodeId peer : opts_.group) {
+      if (peer != id()) Send(peer, kMsgPaxosLearn, w);
+    }
+  }
+}
+
+void PaxosNode::OnLearn(int64_t value) {
+  if (decided_.has_value()) {
+    SAMYA_CHECK_MSG(*decided_ == value,
+                    "paxos safety violation: decided %lld then %lld",
+                    static_cast<long long>(*decided_),
+                    static_cast<long long>(value));
+    return;
+  }
+  decided_ = value;
+  SAMYA_LOG_DEBUG("paxos node %d decided %lld", id(),
+                  static_cast<long long>(value));
+}
+
+}  // namespace samya::consensus

@@ -1,0 +1,90 @@
+#ifndef SAMYA_CONSENSUS_PAXOS_H_
+#define SAMYA_CONSENSUS_PAXOS_H_
+
+#include <optional>
+#include <vector>
+
+#include "consensus/types.h"
+#include "sim/node.h"
+#include "storage/stable_storage.h"
+
+namespace samya::consensus {
+
+/// Message types 140-149 (see the registry in common/token_api.h).
+inline constexpr uint32_t kMsgPaxosPrepare = 140;
+inline constexpr uint32_t kMsgPaxosPromise = 141;
+inline constexpr uint32_t kMsgPaxosAccept = 142;
+inline constexpr uint32_t kMsgPaxosAccepted = 143;
+inline constexpr uint32_t kMsgPaxosLearn = 144;
+
+/// \brief Single-decree Paxos (Lamport's "Paxos made simple"), combined
+/// proposer/acceptor/learner roles in one node.
+///
+/// Included both as the building block the paper contrasts Avantan against
+/// and as a safety reference: the property tests assert its agreement
+/// guarantee under crashes and message loss, the same way they do for
+/// Avantan's Theorems 1-2. Values are int64 for test clarity.
+class PaxosNode : public sim::Node {
+ public:
+  struct Options {
+    std::vector<sim::NodeId> group;     ///< all participants (including self)
+    Duration retry_timeout = Millis(400);
+    storage::StableStorage* storage = nullptr;  ///< durable acceptor state
+  };
+
+  PaxosNode(sim::NodeId id, sim::Region region, Options opts);
+
+  /// Starts proposing `value`. Retries with higher ballots until a value
+  /// (not necessarily this one) is decided.
+  void Propose(int64_t value);
+
+  std::optional<int64_t> decided() const { return decided_; }
+
+  /// Wires durable storage (call before Start; the cluster owns it).
+  void set_storage(storage::StableStorage* storage) { opts_.storage = storage; }
+
+  void Start() override;
+  void HandleMessage(sim::NodeId from, uint32_t type,
+                     BufferReader& r) override;
+  void HandleTimer(uint64_t token) override;
+  void HandleCrash() override;
+  void HandleRecover() override;
+
+ private:
+  size_t Majority() const { return opts_.group.size() / 2 + 1; }
+  void StartRound();
+  void PersistAcceptor();
+  void LoadAcceptor();
+
+  void OnPrepare(sim::NodeId from, Ballot b);
+  void OnPromise(sim::NodeId from, Ballot b, Ballot accepted_ballot,
+                 bool has_value, int64_t value);
+  void OnAccept(sim::NodeId from, Ballot b, int64_t value);
+  void OnAccepted(sim::NodeId from, Ballot b);
+  void OnLearn(int64_t value);
+
+  Options opts_;
+
+  // Acceptor state (durable).
+  Ballot promised_;
+  Ballot accepted_ballot_;
+  std::optional<int64_t> accepted_value_;
+
+  // Proposer state (volatile).
+  bool proposing_ = false;
+  int64_t my_value_ = 0;
+  Ballot current_ballot_;
+  int promises_ = 0;
+  Ballot best_promise_ballot_;
+  std::optional<int64_t> promise_value_;
+  int accepts_ = 0;
+  int64_t accept_value_ = 0;
+  uint64_t round_ = 0;  // guards stale timer callbacks
+
+  // Learner state.
+  std::optional<int64_t> decided_;
+};
+
+}  // namespace samya::consensus
+
+#endif  // SAMYA_CONSENSUS_PAXOS_H_

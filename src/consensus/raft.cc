@@ -1,0 +1,444 @@
+#include "consensus/raft.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/macros.h"
+
+namespace samya::consensus {
+
+namespace {
+constexpr uint64_t kElectionTimer = 1;
+constexpr uint64_t kHeartbeatTimer = 2;
+
+const char* kKeyMeta = "raft/meta";
+std::string LogKey(int64_t index) {
+  return "raft/log/" + std::to_string(index);
+}
+}  // namespace
+
+RaftNode::RaftNode(sim::NodeId id, sim::Region region, RaftOptions opts,
+                   std::unique_ptr<StateMachine> sm)
+    : Node(id, region), opts_(std::move(opts)), sm_(std::move(sm)) {
+  SAMYA_CHECK(!opts_.group.empty());
+  log_.push_back(Entry{});  // sentinel at index 0
+}
+
+void RaftNode::Start() {
+  LoadDurableState();
+  // Only the configured initial leader skips the contact check on its first
+  // timeout; everyone else defers to it.
+  first_timer_ = opts_.initial_leader == id();
+  ResetElectionTimer(/*immediate=*/first_timer_);
+}
+
+void RaftNode::HandleCrash() {
+  role_ = Role::kFollower;
+  leader_hint_ = sim::kInvalidNode;
+  term_ = 0;
+  voted_for_ = sim::kInvalidNode;
+  log_.assign(1, Entry{});
+  commit_index_ = 0;
+  last_applied_ = 0;
+  next_index_.clear();
+  match_index_.clear();
+  pending_count_ = 0;
+  admission_queue_.clear();
+  client_by_index_.clear();
+  votes_ = 0;
+}
+
+void RaftNode::HandleRecover() {
+  LoadDurableState();
+  first_timer_ = false;
+  ResetElectionTimer();
+}
+
+void RaftNode::LoadDurableState() {
+  sm_->Reset();
+  if (opts_.storage == nullptr) return;
+  auto meta = opts_.storage->Get(kKeyMeta);
+  if (meta.ok()) {
+    BufferReader r(*meta);
+    term_ = r.GetVarintSigned().value();
+    voted_for_ = static_cast<sim::NodeId>(r.GetVarintSigned().value());
+  }
+  // Reload the log in index order.
+  log_.assign(1, Entry{});
+  for (int64_t i = 1;; ++i) {
+    auto bytes = opts_.storage->Get(LogKey(i));
+    if (!bytes.ok()) break;
+    BufferReader r(*bytes);
+    Entry e;
+    e.term = r.GetVarintSigned().value();
+    const std::string cmd = r.GetString().value();
+    e.command = std::vector<uint8_t>(cmd.begin(), cmd.end());
+    log_.push_back(std::move(e));
+  }
+  commit_index_ = 0;
+  last_applied_ = 0;
+}
+
+void RaftNode::PersistMeta() {
+  if (opts_.storage == nullptr) return;
+  BufferWriter w;
+  w.PutVarintSigned(term_);
+  w.PutVarintSigned(voted_for_);
+  SAMYA_CHECK(opts_.storage->Put(kKeyMeta, w.buffer()).ok());
+}
+
+void RaftNode::PersistLogFrom(size_t index) {
+  if (opts_.storage == nullptr) return;
+  for (size_t i = index; i < log_.size(); ++i) {
+    BufferWriter w;
+    w.PutVarintSigned(log_[i].term);
+    w.PutString(std::string(log_[i].command.begin(), log_[i].command.end()));
+    SAMYA_CHECK(opts_.storage->Put(LogKey(static_cast<int64_t>(i)),
+                                   w.buffer()).ok());
+  }
+  // Remove any stale tail beyond the truncation point.
+  for (int64_t i = static_cast<int64_t>(log_.size());; ++i) {
+    if (!opts_.storage->Get(LogKey(i)).ok()) break;
+    SAMYA_CHECK(opts_.storage->Delete(LogKey(i)).ok());
+  }
+}
+
+void RaftNode::ResetElectionTimer(bool immediate) {
+  const Duration timeout =
+      immediate ? Duration{0}
+                : rng().UniformInt(opts_.election_timeout_min,
+                                   opts_.election_timeout_max);
+  SetTimer(timeout, kElectionTimer);
+}
+
+void RaftNode::HandleTimer(uint64_t token) {
+  if (token == kHeartbeatTimer) {
+    if (role_ != Role::kLeader) return;
+    BroadcastAppend();
+    SetTimer(opts_.heartbeat_interval, kHeartbeatTimer);
+    return;
+  }
+  SAMYA_CHECK_EQ(token, kElectionTimer);
+  if (role_ == Role::kLeader) return;
+  if (first_timer_ ||
+      Now() - last_leader_contact_ >= opts_.election_timeout_min) {
+    first_timer_ = false;
+    StartElection();
+  }
+  ResetElectionTimer();
+}
+
+void RaftNode::BecomeFollower(int64_t term, sim::NodeId leader) {
+  const bool stepped_down = role_ == Role::kLeader;
+  role_ = Role::kFollower;
+  if (term > term_) {
+    term_ = term;
+    voted_for_ = sim::kInvalidNode;
+    PersistMeta();
+  }
+  if (leader != sim::kInvalidNode) leader_hint_ = leader;
+  last_leader_contact_ = Now();
+  if (stepped_down) {
+    pending_count_ = 0;
+    admission_queue_.clear();
+    client_by_index_.clear();
+  }
+}
+
+void RaftNode::StartElection() {
+  role_ = Role::kCandidate;
+  ++term_;
+  voted_for_ = id();
+  PersistMeta();
+  votes_ = 1;
+  SAMYA_LOG_DEBUG("raft node %d starts election term %lld", id(),
+                  static_cast<long long>(term_));
+  BufferWriter w;
+  w.PutVarintSigned(term_);
+  w.PutVarintSigned(LastLogIndex());
+  w.PutVarintSigned(TermAt(LastLogIndex()));
+  for (sim::NodeId peer : opts_.group) {
+    if (peer != id()) Send(peer, kMsgRaftRequestVote, w);
+  }
+  if (Majority() == 1) BecomeLeader();
+}
+
+void RaftNode::BecomeLeader() {
+  role_ = Role::kLeader;
+  leader_hint_ = id();
+  next_index_.clear();
+  match_index_.clear();
+  for (sim::NodeId peer : opts_.group) {
+    next_index_[peer] = LastLogIndex() + 1;
+    match_index_[peer] = 0;
+  }
+  pending_count_ = 0;
+  SAMYA_LOG_INFO("raft node %d becomes leader in term %lld", id(),
+                 static_cast<long long>(term_));
+  BroadcastAppend();
+  SetTimer(opts_.heartbeat_interval, kHeartbeatTimer);
+}
+
+void RaftNode::SendAppendTo(sim::NodeId peer) {
+  const int64_t next = next_index_[peer];
+  const int64_t prev = next - 1;
+  BufferWriter w;
+  w.PutVarintSigned(term_);
+  w.PutVarintSigned(prev);
+  w.PutVarintSigned(TermAt(prev));
+  const int64_t last = LastLogIndex();
+  const uint64_t count = static_cast<uint64_t>(std::max<int64_t>(0, last - prev));
+  w.PutVarint(count);
+  for (int64_t i = next; i <= last; ++i) {
+    const Entry& e = log_[static_cast<size_t>(i)];
+    w.PutVarintSigned(e.term);
+    w.PutString(std::string(e.command.begin(), e.command.end()));
+  }
+  w.PutVarintSigned(commit_index_);
+  Send(peer, kMsgRaftAppendEntries, w);
+}
+
+void RaftNode::BroadcastAppend() {
+  for (sim::NodeId peer : opts_.group) {
+    if (peer != id()) SendAppendTo(peer);
+  }
+}
+
+void RaftNode::HandleMessage(sim::NodeId from, uint32_t type,
+                             BufferReader& r) {
+  switch (type) {
+    case kMsgTokenRequest:
+      OnClientRequest(from, r);
+      break;
+    case kMsgRaftRequestVote:
+      OnRequestVote(from, r);
+      break;
+    case kMsgRaftVoteResponse:
+      OnVoteResponse(from, r);
+      break;
+    case kMsgRaftAppendEntries:
+      OnAppendEntries(from, r);
+      break;
+    case kMsgRaftAppendResponse:
+      OnAppendResponse(from, r);
+      break;
+    default:
+      SAMYA_CHECK_MSG(false, "raft: unknown message type %u", type);
+  }
+}
+
+void RaftNode::OnRequestVote(sim::NodeId from, BufferReader& r) {
+  const int64_t term = r.GetVarintSigned().value();
+  const int64_t last_index = r.GetVarintSigned().value();
+  const int64_t last_term = r.GetVarintSigned().value();
+
+  if (term > term_) BecomeFollower(term, sim::kInvalidNode);
+
+  bool granted = false;
+  if (term == term_ &&
+      (voted_for_ == sim::kInvalidNode || voted_for_ == from)) {
+    // Up-to-date check (§5.4.1 of the Raft paper).
+    const int64_t my_last_term = TermAt(LastLogIndex());
+    const bool up_to_date =
+        last_term > my_last_term ||
+        (last_term == my_last_term && last_index >= LastLogIndex());
+    if (up_to_date) {
+      granted = true;
+      voted_for_ = from;
+      PersistMeta();
+      last_leader_contact_ = Now();  // don't immediately stand ourselves
+    }
+  }
+  BufferWriter w;
+  w.PutVarintSigned(term_);
+  w.PutBool(granted);
+  Send(from, kMsgRaftVoteResponse, w);
+}
+
+void RaftNode::OnVoteResponse(sim::NodeId from, BufferReader& r) {
+  (void)from;
+  const int64_t term = r.GetVarintSigned().value();
+  const bool granted = r.GetBool().value();
+  if (term > term_) {
+    BecomeFollower(term, sim::kInvalidNode);
+    return;
+  }
+  if (role_ != Role::kCandidate || term != term_ || !granted) return;
+  ++votes_;
+  if (votes_ == static_cast<int>(Majority())) BecomeLeader();
+}
+
+void RaftNode::OnAppendEntries(sim::NodeId from, BufferReader& r) {
+  const int64_t term = r.GetVarintSigned().value();
+  const int64_t prev_index = r.GetVarintSigned().value();
+  const int64_t prev_term = r.GetVarintSigned().value();
+  const uint64_t count = r.GetVarint().value();
+  std::vector<Entry> entries;
+  entries.reserve(count);
+  for (uint64_t k = 0; k < count; ++k) {
+    Entry e;
+    e.term = r.GetVarintSigned().value();
+    const std::string cmd = r.GetString().value();
+    e.command = std::vector<uint8_t>(cmd.begin(), cmd.end());
+    entries.push_back(std::move(e));
+  }
+  const int64_t leader_commit = r.GetVarintSigned().value();
+
+  BufferWriter w;
+  if (term < term_) {
+    w.PutVarintSigned(term_);
+    w.PutBool(false);
+    w.PutVarintSigned(0);
+    Send(from, kMsgRaftAppendResponse, w);
+    return;
+  }
+  BecomeFollower(term, from);
+
+  // Consistency check.
+  if (prev_index > LastLogIndex() ||
+      TermAt(prev_index) != prev_term) {
+    w.PutVarintSigned(term_);
+    w.PutBool(false);
+    w.PutVarintSigned(0);
+    Send(from, kMsgRaftAppendResponse, w);
+    return;
+  }
+
+  // Append, truncating any conflicting suffix.
+  size_t first_changed = log_.size();
+  for (uint64_t k = 0; k < count; ++k) {
+    const int64_t index = prev_index + 1 + static_cast<int64_t>(k);
+    if (index <= LastLogIndex()) {
+      if (TermAt(index) != entries[k].term) {
+        log_.resize(static_cast<size_t>(index));
+        log_.push_back(std::move(entries[k]));
+        first_changed = std::min(first_changed, static_cast<size_t>(index));
+      }
+    } else {
+      log_.push_back(std::move(entries[k]));
+      first_changed = std::min(first_changed, log_.size() - 1);
+    }
+  }
+  if (first_changed < log_.size()) PersistLogFrom(first_changed);
+
+  if (leader_commit > commit_index_) {
+    commit_index_ = std::min(leader_commit, LastLogIndex());
+    ApplyCommitted();
+  }
+
+  w.PutVarintSigned(term_);
+  w.PutBool(true);
+  w.PutVarintSigned(prev_index + static_cast<int64_t>(count));
+  Send(from, kMsgRaftAppendResponse, w);
+}
+
+void RaftNode::OnAppendResponse(sim::NodeId from, BufferReader& r) {
+  const int64_t term = r.GetVarintSigned().value();
+  const bool success = r.GetBool().value();
+  const int64_t match = r.GetVarintSigned().value();
+  if (term > term_) {
+    BecomeFollower(term, sim::kInvalidNode);
+    return;
+  }
+  if (role_ != Role::kLeader || term != term_) return;
+  if (success) {
+    match_index_[from] = std::max(match_index_[from], match);
+    next_index_[from] = match_index_[from] + 1;
+    AdvanceCommit();
+  } else {
+    // Log repair: back off and retry immediately.
+    next_index_[from] = std::max<int64_t>(1, next_index_[from] - 1);
+    SendAppendTo(from);
+  }
+}
+
+void RaftNode::AdvanceCommit() {
+  // Find the highest index replicated on a majority with a current-term
+  // entry (Raft's commit rule, §5.4.2).
+  for (int64_t n = LastLogIndex(); n > commit_index_; --n) {
+    if (TermAt(n) != term_) break;
+    size_t replicas = 1;  // self
+    for (const auto& [peer, match] : match_index_) {
+      if (peer != id() && match >= n) ++replicas;
+    }
+    if (replicas >= Majority()) {
+      commit_index_ = n;
+      ApplyCommitted();
+      // Let followers learn the new commit index promptly.
+      BroadcastAppend();
+      break;
+    }
+  }
+}
+
+void RaftNode::ApplyCommitted() {
+  while (last_applied_ < commit_index_) {
+    ++last_applied_;
+    const auto response =
+        sm_->Apply(log_[static_cast<size_t>(last_applied_)].command);
+    auto it = client_by_index_.find(last_applied_);
+    if (it != client_by_index_.end()) {
+      BufferWriter w;
+      w.PutBytes(response.data(), response.size());
+      Send(it->second, kMsgTokenResponse, w);
+      client_by_index_.erase(it);
+      if (pending_count_ > 0) --pending_count_;
+    }
+  }
+  AppendFromQueue();
+}
+
+void RaftNode::RejectClient(sim::NodeId client, uint64_t request_id,
+                            TokenStatus status) {
+  TokenResponse resp;
+  resp.request_id = request_id;
+  resp.status = status;
+  resp.leader_hint = leader_hint_;
+  BufferWriter w;
+  resp.EncodeTo(w);
+  Send(client, kMsgTokenResponse, w);
+}
+
+void RaftNode::OnClientRequest(sim::NodeId from, BufferReader& r) {
+  auto req = TokenRequest::DecodeFrom(r);
+  if (!req.ok()) return;
+
+  if (role_ != Role::kLeader) {
+    RejectClient(from, req->request_id, TokenStatus::kNotLeader);
+    return;
+  }
+
+  BufferWriter cmd;
+  req->EncodeTo(cmd);
+
+  if (req->op == TokenOp::kRead) {
+    const auto resp = sm_->Query(cmd.buffer());
+    BufferWriter w;
+    w.PutBytes(resp.data(), resp.size());
+    Send(from, kMsgTokenResponse, w);
+    return;
+  }
+
+  if (pending_count_ >= opts_.max_pending) {
+    RejectClient(from, req->request_id, TokenStatus::kOverloaded);
+    return;
+  }
+  ++pending_count_;
+  admission_queue_.emplace_back(from, cmd.Release());
+  AppendFromQueue();
+}
+
+void RaftNode::AppendFromQueue() {
+  if (role_ != Role::kLeader || admission_queue_.empty()) return;
+  if (opts_.serialize_commands && LastLogIndex() > commit_index_) {
+    return;  // a conflicting command is still replicating
+  }
+  auto [client, cmd] = std::move(admission_queue_.front());
+  admission_queue_.pop_front();
+  log_.push_back(Entry{term_, std::move(cmd)});
+  PersistLogFrom(log_.size() - 1);
+  client_by_index_[LastLogIndex()] = client;
+  BroadcastAppend();
+}
+
+}  // namespace samya::consensus

@@ -1,0 +1,129 @@
+#ifndef SAMYA_CONSENSUS_RAFT_H_
+#define SAMYA_CONSENSUS_RAFT_H_
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/token_api.h"
+#include "consensus/state_machine.h"
+#include "sim/node.h"
+#include "storage/stable_storage.h"
+
+namespace samya::consensus {
+
+/// Message types 120-139.
+inline constexpr uint32_t kMsgRaftRequestVote = 120;
+inline constexpr uint32_t kMsgRaftVoteResponse = 121;
+inline constexpr uint32_t kMsgRaftAppendEntries = 122;
+inline constexpr uint32_t kMsgRaftAppendResponse = 123;
+
+struct RaftOptions {
+  std::vector<sim::NodeId> group;
+  Duration heartbeat_interval = Millis(75);
+  Duration election_timeout_min = Millis(500);
+  Duration election_timeout_max = Millis(1000);
+  /// Admission cap at the leader (see MultiPaxosOptions::max_pending).
+  size_t max_pending = 8;
+  /// Serialize conflicting commands: replicate one client command at a time
+  /// (the hot-record behaviour of §1; CockroachDB serialises writes to one
+  /// key through latches). Disable for pipelined replication.
+  bool serialize_commands = true;
+  /// If equal to the node's own id, the node short-circuits its first
+  /// election timeout so startup converges immediately and deterministically.
+  sim::NodeId initial_leader = sim::kInvalidNode;
+  storage::StableStorage* storage = nullptr;
+};
+
+/// \brief Raft consensus (Ongaro & Ousterhout) replicating a `StateMachine`,
+/// the engine of the CockroachDB-like baseline (§5: "uses Raft to replicate
+/// any changes to the data").
+///
+/// Implements leader election with randomized timeouts, log replication with
+/// the prev-index/term consistency check and follower log repair, commit on
+/// majority match (current-term entries only), and durable term/vote/log.
+/// Clients speak the shared token API; non-leaders answer with a hint.
+class RaftNode : public sim::Node {
+ public:
+  RaftNode(sim::NodeId id, sim::Region region, RaftOptions opts,
+           std::unique_ptr<StateMachine> sm);
+
+  /// Wires durable storage (call before Start; the cluster owns it).
+  void set_storage(storage::StableStorage* storage) { opts_.storage = storage; }
+
+  void Start() override;
+  void HandleMessage(sim::NodeId from, uint32_t type,
+                     BufferReader& r) override;
+  void HandleTimer(uint64_t token) override;
+  void HandleCrash() override;
+  void HandleRecover() override;
+
+  bool IsLeader() const { return role_ == Role::kLeader; }
+  sim::NodeId leader_hint() const { return leader_hint_; }
+  int64_t current_term() const { return term_; }
+  int64_t commit_index() const { return commit_index_; }
+
+  struct Entry {
+    int64_t term = 0;
+    std::vector<uint8_t> command;
+  };
+  /// 1-based log (index 0 is a sentinel), exposed for safety tests.
+  const std::vector<Entry>& log() const { return log_; }
+  const StateMachine& state_machine() const { return *sm_; }
+
+ private:
+  enum class Role { kFollower, kCandidate, kLeader };
+
+  size_t Majority() const { return opts_.group.size() / 2 + 1; }
+  int64_t LastLogIndex() const { return static_cast<int64_t>(log_.size()) - 1; }
+  int64_t TermAt(int64_t index) const { return log_[static_cast<size_t>(index)].term; }
+
+  void ResetElectionTimer(bool immediate = false);
+  void BecomeFollower(int64_t term, sim::NodeId leader);
+  void StartElection();
+  void BecomeLeader();
+  void SendAppendTo(sim::NodeId peer);
+  void BroadcastAppend();
+  void AdvanceCommit();
+  void ApplyCommitted();
+  void PersistMeta();
+  void PersistLogFrom(size_t index);
+  void LoadDurableState();
+  void RejectClient(sim::NodeId client, uint64_t request_id,
+                    TokenStatus status);
+
+  void OnRequestVote(sim::NodeId from, BufferReader& r);
+  void OnVoteResponse(sim::NodeId from, BufferReader& r);
+  void OnAppendEntries(sim::NodeId from, BufferReader& r);
+  void OnAppendResponse(sim::NodeId from, BufferReader& r);
+  void OnClientRequest(sim::NodeId from, BufferReader& r);
+  void AppendFromQueue();
+
+  RaftOptions opts_;
+  std::unique_ptr<StateMachine> sm_;
+
+  Role role_ = Role::kFollower;
+  sim::NodeId leader_hint_ = sim::kInvalidNode;
+  int64_t term_ = 0;                       // durable
+  sim::NodeId voted_for_ = sim::kInvalidNode;  // durable
+  std::vector<Entry> log_;                 // durable; [0] sentinel
+
+  int64_t commit_index_ = 0;
+  int64_t last_applied_ = 0;
+
+  // Leader volatile state.
+  std::map<sim::NodeId, int64_t> next_index_;
+  std::map<sim::NodeId, int64_t> match_index_;
+  size_t pending_count_ = 0;  // admission-queue accounting
+  std::deque<std::pair<sim::NodeId, std::vector<uint8_t>>> admission_queue_;
+  std::map<int64_t, sim::NodeId> client_by_index_;
+
+  int votes_ = 0;
+  SimTime last_leader_contact_ = 0;
+  bool first_timer_ = true;
+};
+
+}  // namespace samya::consensus
+
+#endif  // SAMYA_CONSENSUS_RAFT_H_

@@ -1,0 +1,31 @@
+#ifndef SAMYA_CONSENSUS_STATE_MACHINE_H_
+#define SAMYA_CONSENSUS_STATE_MACHINE_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace samya::consensus {
+
+/// \brief Deterministic state machine replicated by multi-Paxos / Raft.
+///
+/// Commands and responses are opaque byte strings; replicas applying the same
+/// command sequence must produce identical states and responses.
+class StateMachine {
+ public:
+  virtual ~StateMachine() = default;
+
+  /// Applies a committed command, returns its response.
+  virtual std::vector<uint8_t> Apply(const std::vector<uint8_t>& command) = 0;
+
+  /// Serves a read-only query against current state (leader-only in both
+  /// protocols, mirroring leader leases).
+  virtual std::vector<uint8_t> Query(const std::vector<uint8_t>& query) = 0;
+
+  /// Discards all state. Called before a crash-recovered replica replays its
+  /// durable log from the beginning.
+  virtual void Reset() = 0;
+};
+
+}  // namespace samya::consensus
+
+#endif  // SAMYA_CONSENSUS_STATE_MACHINE_H_

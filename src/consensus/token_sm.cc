@@ -1,0 +1,65 @@
+#include "consensus/token_sm.h"
+
+#include "common/macros.h"
+
+namespace samya::consensus {
+
+std::vector<uint8_t> TokenStateMachine::Apply(
+    const std::vector<uint8_t>& command) {
+  BufferReader r(command);
+  auto req = TokenRequest::DecodeFrom(r);
+  TokenResponse resp;
+  if (req.ok()) {
+    auto dup = applied_.find(req->request_id);
+    if (dup != applied_.end()) return dup->second;
+    dup = applied_prev_.find(req->request_id);
+    if (dup != applied_prev_.end()) return dup->second;
+    resp.request_id = req->request_id;
+    switch (req->op) {
+      case TokenOp::kAcquire:
+        if (req->amount > 0 && acquired_ + req->amount <= limit_) {
+          acquired_ += req->amount;
+          resp.status = TokenStatus::kCommitted;
+        }
+        break;
+      case TokenOp::kRelease:
+        if (req->amount > 0 && req->amount <= acquired_) {
+          acquired_ -= req->amount;
+          resp.status = TokenStatus::kCommitted;
+        }
+        break;
+      case TokenOp::kRead:
+        resp.status = TokenStatus::kCommitted;
+        break;
+    }
+    resp.value = available();
+  }
+  BufferWriter w;
+  resp.EncodeTo(w);
+  std::vector<uint8_t> bytes = w.Release();
+  if (req.ok() && req->op != TokenOp::kRead) {
+    if (applied_.size() >= kGenerationSize) {
+      applied_prev_ = std::move(applied_);
+      applied_ = {};
+    }
+    applied_[req->request_id] = bytes;
+  }
+  return bytes;
+}
+
+std::vector<uint8_t> TokenStateMachine::Query(
+    const std::vector<uint8_t>& query) {
+  BufferReader r(query);
+  auto req = TokenRequest::DecodeFrom(r);
+  TokenResponse resp;
+  if (req.ok()) {
+    resp.request_id = req->request_id;
+    resp.status = TokenStatus::kCommitted;
+    resp.value = available();
+  }
+  BufferWriter w;
+  resp.EncodeTo(w);
+  return w.Release();
+}
+
+}  // namespace samya::consensus

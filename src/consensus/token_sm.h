@@ -1,0 +1,49 @@
+#ifndef SAMYA_CONSENSUS_TOKEN_SM_H_
+#define SAMYA_CONSENSUS_TOKEN_SM_H_
+
+#include <unordered_map>
+
+#include "common/token_api.h"
+#include "consensus/state_machine.h"
+
+namespace samya::consensus {
+
+/// \brief The replicated hot-spot record: a bounded token counter.
+///
+/// This is the data item MultiPaxSys and the CockroachDB-like baseline
+/// replicate per update. It enforces the same global constraint Eq. 1 that
+/// Samya maintains in dis-aggregated form:
+///   0 <= acquired <= limit.
+class TokenStateMachine : public StateMachine {
+ public:
+  explicit TokenStateMachine(int64_t limit) : limit_(limit) {}
+
+  /// Command bytes are an encoded `TokenRequest`; the response is an encoded
+  /// `TokenResponse` (committed flag + available-token value).
+  std::vector<uint8_t> Apply(const std::vector<uint8_t>& command) override;
+  std::vector<uint8_t> Query(const std::vector<uint8_t>& query) override;
+  void Reset() override {
+    acquired_ = 0;
+    applied_.clear();
+    applied_prev_.clear();
+  }
+
+  int64_t acquired() const { return acquired_; }
+  int64_t available() const { return limit_ - acquired_; }
+  int64_t limit() const { return limit_; }
+
+ private:
+  int64_t limit_;
+  int64_t acquired_ = 0;
+  /// At-most-once guard: a retried command (same request id) returns its
+  /// original response instead of re-applying. Deterministic across
+  /// replicas because it is driven purely by the applied command sequence.
+  /// Bounded via two-generation rotation (retries arrive within seconds).
+  static constexpr size_t kGenerationSize = 1 << 16;
+  std::unordered_map<uint64_t, std::vector<uint8_t>> applied_;
+  std::unordered_map<uint64_t, std::vector<uint8_t>> applied_prev_;
+};
+
+}  // namespace samya::consensus
+
+#endif  // SAMYA_CONSENSUS_TOKEN_SM_H_

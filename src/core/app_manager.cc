@@ -1,0 +1,70 @@
+#include "core/app_manager.h"
+
+#include "common/macros.h"
+
+namespace samya::core {
+
+AppManager::AppManager(sim::NodeId id, sim::Region region,
+                       AppManagerOptions opts)
+    : Node(id, region), opts_(std::move(opts)) {
+  SAMYA_CHECK(!opts_.sites.empty());
+}
+
+void AppManager::HandleMessage(sim::NodeId from, uint32_t type,
+                               BufferReader& r) {
+  if (type == kMsgTokenRequest) {
+    // Peek the request id without consuming the payload: we need the raw
+    // bytes to forward verbatim.
+    const size_t start = r.position();
+    auto req = TokenRequest::DecodeFrom(r);
+    if (!req.ok()) return;
+    (void)start;
+    BufferWriter payload;
+    req->EncodeTo(payload);
+
+    Inflight entry;
+    entry.client = from;
+    entry.request = payload.Release();
+    if (opts_.rotate_over > 1) {
+      entry.site_index = rotation_++ % opts_.rotate_over;
+    }
+    RelayTo(req->request_id, entry);
+    inflight_[req->request_id] = std::move(entry);
+    return;
+  }
+  SAMYA_CHECK_EQ(type, kMsgTokenResponse);
+  auto resp = TokenResponse::DecodeFrom(r);
+  if (!resp.ok()) return;
+  auto it = inflight_.find(resp->request_id);
+  if (it == inflight_.end()) return;  // stale (timed out / crashed meanwhile)
+  CancelTimer(it->second.timer);
+  BufferWriter w;
+  resp->EncodeTo(w);
+  Send(it->second.client, kMsgTokenResponse, w);
+  inflight_.erase(it);
+}
+
+void AppManager::RelayTo(uint64_t request_id, Inflight& entry) {
+  const sim::NodeId site = opts_.sites[entry.site_index % opts_.sites.size()];
+  ++entry.attempts;
+  ++relayed_;
+  BufferWriter w;
+  w.PutBytes(entry.request.data(), entry.request.size());
+  Send(site, kMsgTokenRequest, w);
+  entry.timer = SetTimer(opts_.site_timeout, request_id);
+}
+
+void AppManager::HandleTimer(uint64_t token) {
+  auto it = inflight_.find(token);
+  if (it == inflight_.end()) return;
+  Inflight& entry = it->second;
+  if (entry.attempts >= opts_.max_attempts) {
+    // Give up; the client's own retry/timeout policy takes over.
+    inflight_.erase(it);
+    return;
+  }
+  ++entry.site_index;  // fail over to the next-closest site
+  RelayTo(token, entry);
+}
+
+}  // namespace samya::core

@@ -1,0 +1,61 @@
+#ifndef SAMYA_CORE_APP_MANAGER_H_
+#define SAMYA_CORE_APP_MANAGER_H_
+
+#include <map>
+
+#include "common/token_api.h"
+#include "sim/node.h"
+
+namespace samya::core {
+
+struct AppManagerOptions {
+  /// Sites in preference order; the first is the closest (§4.1.2 step 2).
+  std::vector<sim::NodeId> sites;
+  /// Failover: if the chosen site does not answer within this timeout the
+  /// request is re-relayed to the next site. One attempt by default because
+  /// redistribution can legitimately delay a queued request, and re-sending
+  /// a queued acquire would double-apply it.
+  Duration site_timeout = Millis(1500);
+  int max_attempts = 1;
+  /// Load balancing: rotate fresh requests over the first `rotate_over`
+  /// sites (the same-region replicas in the Fig 3g scalability setup).
+  size_t rotate_over = 1;
+};
+
+/// \brief Stateless application manager (§3.1): relays client token requests
+/// to the closest live site and routes the responses back.
+///
+/// "Stateless" as in the paper: it holds only transient routing entries for
+/// in-flight requests, nothing durable — a crashed app manager can be
+/// replaced by a fresh process and clients simply retry.
+class AppManager : public sim::Node {
+ public:
+  AppManager(sim::NodeId id, sim::Region region, AppManagerOptions opts);
+
+  void HandleMessage(sim::NodeId from, uint32_t type,
+                     BufferReader& r) override;
+  void HandleTimer(uint64_t token) override;
+  void HandleCrash() override { inflight_.clear(); }
+
+  uint64_t relayed() const { return relayed_; }
+
+ private:
+  struct Inflight {
+    sim::NodeId client = sim::kInvalidNode;
+    std::vector<uint8_t> request;
+    size_t site_index = 0;
+    int attempts = 0;
+    uint64_t timer = 0;
+  };
+
+  void RelayTo(uint64_t request_id, Inflight& entry);
+
+  AppManagerOptions opts_;
+  std::map<uint64_t, Inflight> inflight_;
+  uint64_t relayed_ = 0;
+  size_t rotation_ = 0;
+};
+
+}  // namespace samya::core
+
+#endif  // SAMYA_CORE_APP_MANAGER_H_

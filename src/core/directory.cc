@@ -1,0 +1,76 @@
+#include "core/directory.h"
+
+#include "common/macros.h"
+
+namespace samya::core {
+
+void EntityDirectory::Register(uint32_t entity,
+                               std::vector<sim::NodeId> endpoint_by_region) {
+  entries_[entity] = EntityInfo{entity, std::move(endpoint_by_region)};
+}
+
+sim::NodeId EntityDirectory::Lookup(uint32_t entity, int region_index) const {
+  auto it = entries_.find(entity);
+  if (it == entries_.end()) return sim::kInvalidNode;
+  const auto& endpoints = it->second.endpoint_by_region;
+  if (region_index < 0 ||
+      static_cast<size_t>(region_index) >= endpoints.size()) {
+    return sim::kInvalidNode;
+  }
+  return endpoints[static_cast<size_t>(region_index)];
+}
+
+std::vector<uint32_t> EntityDirectory::Entities() const {
+  std::vector<uint32_t> out;
+  out.reserve(entries_.size());
+  for (const auto& [entity, _] : entries_) out.push_back(entity);
+  return out;
+}
+
+EntityRouter::EntityRouter(sim::NodeId id, sim::Region region,
+                           EntityRouterOptions opts)
+    : Node(id, region), opts_(std::move(opts)) {
+  SAMYA_CHECK(opts_.directory != nullptr);
+}
+
+void EntityRouter::HandleMessage(sim::NodeId from, uint32_t type,
+                                 BufferReader& r) {
+  if (type == kMsgTokenResponse) {
+    auto resp = TokenResponse::DecodeFrom(r);
+    if (!resp.ok()) return;
+    auto it = inflight_.find(resp->request_id);
+    if (it == inflight_.end()) return;
+    BufferWriter w;
+    resp->EncodeTo(w);
+    Send(it->second, kMsgTokenResponse, w);
+    inflight_.erase(it);
+    return;
+  }
+  SAMYA_CHECK_EQ(type, kMsgTokenRequest);
+  auto req = TokenRequest::DecodeFrom(r);
+  if (!req.ok()) return;
+
+  const sim::NodeId endpoint =
+      opts_.directory->Lookup(req->entity, opts_.region_index);
+  if (endpoint == sim::kInvalidNode) {
+    ++unknown_entity_;
+    TokenResponse resp;
+    resp.request_id = req->request_id;
+    resp.status = TokenStatus::kRejected;
+    BufferWriter w;
+    resp.EncodeTo(w);
+    Send(from, kMsgTokenResponse, w);
+    return;
+  }
+  ++routed_;
+  inflight_[req->request_id] = from;
+  BufferWriter w;
+  req->EncodeTo(w);
+  Send(endpoint, kMsgTokenRequest, w);
+  // Garbage-collect the routing entry if the endpoint never answers.
+  SetTimer(opts_.endpoint_timeout, req->request_id);
+}
+
+void EntityRouter::HandleTimer(uint64_t token) { inflight_.erase(token); }
+
+}  // namespace samya::core

@@ -1,0 +1,74 @@
+#ifndef SAMYA_CORE_DIRECTORY_H_
+#define SAMYA_CORE_DIRECTORY_H_
+
+#include <map>
+#include <vector>
+
+#include "common/token_api.h"
+#include "sim/node.h"
+
+namespace samya::core {
+
+/// \brief Directory service for multi-entity deployments (§3.1: "a run-time
+/// library can provide lookup and directory services to identify the sites
+/// that maintain a specific resource data").
+///
+/// Each entity (resource type) is value-partitioned across its own group of
+/// sites; the directory records, per entity, the service endpoints (app
+/// managers or sites) in each region.
+class EntityDirectory {
+ public:
+  struct EntityInfo {
+    uint32_t entity = 0;
+    /// Endpoint to contact per region index (0..4); kInvalidNode when the
+    /// entity has no presence in that region.
+    std::vector<sim::NodeId> endpoint_by_region;
+  };
+
+  /// Registers (or replaces) an entity's endpoints.
+  void Register(uint32_t entity, std::vector<sim::NodeId> endpoint_by_region);
+
+  /// Endpoint of `entity` in `region_index`, or kInvalidNode when unknown.
+  sim::NodeId Lookup(uint32_t entity, int region_index) const;
+
+  bool Knows(uint32_t entity) const { return entries_.count(entity) > 0; }
+  std::vector<uint32_t> Entities() const;
+
+ private:
+  std::map<uint32_t, EntityInfo> entries_;
+};
+
+struct EntityRouterOptions {
+  /// Shared directory (owned by the deployment harness; must outlive the
+  /// router).
+  const EntityDirectory* directory = nullptr;
+  /// This router's region index (picks the per-region endpoint column).
+  int region_index = 0;
+  Duration endpoint_timeout = Seconds(2);
+};
+
+/// \brief Stateless front door for multi-entity deployments: routes each
+/// token request to the entity's endpoint in this region and relays the
+/// response back. Requests for unknown entities are rejected immediately.
+class EntityRouter : public sim::Node {
+ public:
+  EntityRouter(sim::NodeId id, sim::Region region, EntityRouterOptions opts);
+
+  void HandleMessage(sim::NodeId from, uint32_t type,
+                     BufferReader& r) override;
+  void HandleTimer(uint64_t token) override;
+  void HandleCrash() override { inflight_.clear(); }
+
+  uint64_t routed() const { return routed_; }
+  uint64_t unknown_entity() const { return unknown_entity_; }
+
+ private:
+  EntityRouterOptions opts_;
+  std::map<uint64_t, sim::NodeId> inflight_;  // request id -> client
+  uint64_t routed_ = 0;
+  uint64_t unknown_entity_ = 0;
+};
+
+}  // namespace samya::core
+
+#endif  // SAMYA_CORE_DIRECTORY_H_

@@ -1,0 +1,117 @@
+#include "core/hierarchy.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/macros.h"
+
+namespace samya::core {
+
+QuotaHierarchy::QuotaHierarchy(std::string root_name, int64_t root_limit) {
+  Node root;
+  root.name = std::move(root_name);
+  root.limit = root_limit;
+  nodes_.push_back(std::move(root));
+}
+
+Result<OrgNodeId> QuotaHierarchy::AddNode(const std::string& name,
+                                          OrgNodeId parent,
+                                          std::optional<int64_t> limit) {
+  if (!Valid(parent)) return Status::NotFound("parent org node");
+  if (limit.has_value() && *limit < 0) {
+    return Status::InvalidArgument("limit must be non-negative");
+  }
+  const OrgNodeId id = static_cast<OrgNodeId>(nodes_.size());
+  Node node;
+  node.name = name;
+  node.parent = parent;
+  node.limit = limit;
+  nodes_.push_back(std::move(node));
+  nodes_[static_cast<size_t>(parent)].children.push_back(id);
+  return id;
+}
+
+Status QuotaHierarchy::Charge(OrgNodeId leaf, int64_t n) {
+  if (!Valid(leaf)) return Status::NotFound("org node");
+  if (n <= 0) return Status::InvalidArgument("charge must be positive");
+  // First pass: verify every limit on the path to the root.
+  for (OrgNodeId cur = leaf; cur != kInvalidOrgNode;
+       cur = nodes_[static_cast<size_t>(cur)].parent) {
+    const Node& node = nodes_[static_cast<size_t>(cur)];
+    if (node.limit.has_value() && node.usage + n > *node.limit) {
+      return Status::ResourceExhausted(node.name + " would exceed its limit");
+    }
+  }
+  // Second pass: apply (all-or-nothing by construction).
+  for (OrgNodeId cur = leaf; cur != kInvalidOrgNode;
+       cur = nodes_[static_cast<size_t>(cur)].parent) {
+    nodes_[static_cast<size_t>(cur)].usage += n;
+  }
+  return Status::OK();
+}
+
+Status QuotaHierarchy::Refund(OrgNodeId leaf, int64_t n) {
+  if (!Valid(leaf)) return Status::NotFound("org node");
+  if (n <= 0) return Status::InvalidArgument("refund must be positive");
+  if (nodes_[static_cast<size_t>(leaf)].usage < n) {
+    return Status::InvalidArgument("refund exceeds the node's usage");
+  }
+  for (OrgNodeId cur = leaf; cur != kInvalidOrgNode;
+       cur = nodes_[static_cast<size_t>(cur)].parent) {
+    Node& node = nodes_[static_cast<size_t>(cur)];
+    SAMYA_CHECK_GE(node.usage, n);
+    node.usage -= n;
+  }
+  return Status::OK();
+}
+
+Result<int64_t> QuotaHierarchy::Usage(OrgNodeId node) const {
+  if (!Valid(node)) return Status::NotFound("org node");
+  return nodes_[static_cast<size_t>(node)].usage;
+}
+
+Result<int64_t> QuotaHierarchy::Headroom(OrgNodeId node) const {
+  if (!Valid(node)) return Status::NotFound("org node");
+  int64_t headroom = std::numeric_limits<int64_t>::max();
+  for (OrgNodeId cur = node; cur != kInvalidOrgNode;
+       cur = nodes_[static_cast<size_t>(cur)].parent) {
+    const Node& n = nodes_[static_cast<size_t>(cur)];
+    if (n.limit.has_value()) {
+      headroom = std::min(headroom, *n.limit - n.usage);
+    }
+  }
+  return headroom;
+}
+
+Result<std::string> QuotaHierarchy::Name(OrgNodeId node) const {
+  if (!Valid(node)) return Status::NotFound("org node");
+  return nodes_[static_cast<size_t>(node)].name;
+}
+
+Result<std::vector<OrgNodeId>> QuotaHierarchy::Children(OrgNodeId node) const {
+  if (!Valid(node)) return Status::NotFound("org node");
+  return nodes_[static_cast<size_t>(node)].children;
+}
+
+std::string QuotaHierarchy::ToString() const {
+  std::string out;
+  // Depth-first with indentation; iterative to keep stack use flat.
+  std::vector<std::pair<OrgNodeId, int>> stack = {{root(), 0}};
+  while (!stack.empty()) {
+    auto [id, depth] = stack.back();
+    stack.pop_back();
+    const Node& node = nodes_[static_cast<size_t>(id)];
+    out.append(static_cast<size_t>(depth) * 2, ' ');
+    out += node.name + ": " + std::to_string(node.usage);
+    if (node.limit.has_value()) {
+      out += " / " + std::to_string(*node.limit);
+    }
+    out += "\n";
+    for (auto it = node.children.rbegin(); it != node.children.rend(); ++it) {
+      stack.push_back({*it, depth + 1});
+    }
+  }
+  return out;
+}
+
+}  // namespace samya::core

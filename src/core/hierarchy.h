@@ -1,0 +1,82 @@
+#ifndef SAMYA_CORE_HIERARCHY_H_
+#define SAMYA_CORE_HIERARCHY_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace samya::core {
+
+/// Identifies a node in an organization's quota hierarchy.
+using OrgNodeId = int32_t;
+inline constexpr OrgNodeId kInvalidOrgNode = -1;
+
+/// \brief The paper's Fig 1 hierarchical org structure: usage is tracked at
+/// leaf teams and aggregates up to the root, where the admin-set limit
+/// applies; intermediate nodes may carry their own sub-limits.
+///
+/// This is the *application-side* structure a resource-tracking service
+/// maintains per customer. The root-level constraint is the quantity a Samya
+/// deployment dis-aggregates; `QuotaHierarchy` enforces the sub-limits and
+/// aggregation locally and tells the caller how many root-level tokens a
+/// charge needs (always `n` — every leaf consumption percolates to the root,
+/// §1: "Any update to an intermediary unit must percolate to the root").
+///
+/// Charging is all-or-nothing: a charge at a leaf succeeds only if every
+/// node on the path to the root stays within its limit.
+class QuotaHierarchy {
+ public:
+  /// Creates the hierarchy with its root (e.g. "eCommerce.com") and the
+  /// root limit M_e.
+  QuotaHierarchy(std::string root_name, int64_t root_limit);
+
+  /// Adds an org unit or team under `parent`; `limit` is optional (teams
+  /// without a sub-limit are bounded only by their ancestors).
+  Result<OrgNodeId> AddNode(const std::string& name, OrgNodeId parent,
+                            std::optional<int64_t> limit = std::nullopt);
+
+  OrgNodeId root() const { return 0; }
+  size_t size() const { return nodes_.size(); }
+
+  /// Charges `n` units of usage at `leaf`, checking every limit on the path
+  /// to the root. On success every ancestor's aggregate usage grows by `n`.
+  Status Charge(OrgNodeId leaf, int64_t n);
+
+  /// Returns `n` units of usage from `leaf` (never below zero anywhere).
+  Status Refund(OrgNodeId leaf, int64_t n);
+
+  /// Aggregate usage at a node (its own plus all descendants').
+  Result<int64_t> Usage(OrgNodeId node) const;
+
+  /// Remaining headroom at a node: how much more could be charged beneath it
+  /// before *some* limit on the path from `node` to the root is hit.
+  Result<int64_t> Headroom(OrgNodeId node) const;
+
+  Result<std::string> Name(OrgNodeId node) const;
+  Result<std::vector<OrgNodeId>> Children(OrgNodeId node) const;
+
+  /// Renders the tree with usage/limit per node (for CLIs and examples).
+  std::string ToString() const;
+
+ private:
+  struct Node {
+    std::string name;
+    OrgNodeId parent = kInvalidOrgNode;
+    std::optional<int64_t> limit;
+    int64_t usage = 0;  // aggregate: own + descendants
+    std::vector<OrgNodeId> children;
+  };
+
+  bool Valid(OrgNodeId id) const {
+    return id >= 0 && static_cast<size_t>(id) < nodes_.size();
+  }
+
+  std::vector<Node> nodes_;
+};
+
+}  // namespace samya::core
+
+#endif  // SAMYA_CORE_HIERARCHY_H_

@@ -1,0 +1,153 @@
+#include "core/messages.h"
+
+namespace samya::core {
+
+InstanceId MakeAnyInstance(sim::NodeId leader, uint32_t seq) {
+  return (static_cast<InstanceId>(leader) << 32) | static_cast<InstanceId>(seq);
+}
+
+void ElectionGetValue::EncodeTo(BufferWriter& w) const {
+  w.PutVarintSigned(instance);
+  ballot.EncodeTo(w);
+  w.PutBool(recovery);
+}
+
+Result<ElectionGetValue> ElectionGetValue::DecodeFrom(BufferReader& r) {
+  ElectionGetValue m;
+  SAMYA_ASSIGN_OR_RETURN(m.instance, r.GetVarintSigned());
+  SAMYA_ASSIGN_OR_RETURN(m.ballot, Ballot::DecodeFrom(r));
+  SAMYA_ASSIGN_OR_RETURN(m.recovery, r.GetBool());
+  return m;
+}
+
+void ElectionOkValue::EncodeTo(BufferWriter& w) const {
+  w.PutVarintSigned(instance);
+  ballot.EncodeTo(w);
+  w.PutU8(static_cast<uint8_t>(kind));
+  w.PutBool(has_init_val);
+  init_val.EncodeTo(w);
+  accept_val.EncodeTo(w);
+  accept_num.EncodeTo(w);
+  w.PutBool(decision);
+  decided_value.EncodeTo(w);
+  w.PutVarintSigned(next_instance);
+}
+
+Result<ElectionOkValue> ElectionOkValue::DecodeFrom(BufferReader& r) {
+  ElectionOkValue m;
+  SAMYA_ASSIGN_OR_RETURN(m.instance, r.GetVarintSigned());
+  SAMYA_ASSIGN_OR_RETURN(m.ballot, Ballot::DecodeFrom(r));
+  SAMYA_ASSIGN_OR_RETURN(uint8_t kind, r.GetU8());
+  if (kind < 1 || kind > 3) return Status::Corruption("bad election-ok kind");
+  m.kind = static_cast<Kind>(kind);
+  SAMYA_ASSIGN_OR_RETURN(m.has_init_val, r.GetBool());
+  SAMYA_ASSIGN_OR_RETURN(m.init_val, EntityState::DecodeFrom(r));
+  SAMYA_ASSIGN_OR_RETURN(m.accept_val, StateList::DecodeFrom(r));
+  SAMYA_ASSIGN_OR_RETURN(m.accept_num, Ballot::DecodeFrom(r));
+  SAMYA_ASSIGN_OR_RETURN(m.decision, r.GetBool());
+  SAMYA_ASSIGN_OR_RETURN(m.decided_value, StateList::DecodeFrom(r));
+  SAMYA_ASSIGN_OR_RETURN(m.next_instance, r.GetVarintSigned());
+  return m;
+}
+
+void AcceptValue::EncodeTo(BufferWriter& w) const {
+  w.PutVarintSigned(instance);
+  ballot.EncodeTo(w);
+  value.EncodeTo(w);
+  w.PutBool(decision);
+}
+
+Result<AcceptValue> AcceptValue::DecodeFrom(BufferReader& r) {
+  AcceptValue m;
+  SAMYA_ASSIGN_OR_RETURN(m.instance, r.GetVarintSigned());
+  SAMYA_ASSIGN_OR_RETURN(m.ballot, Ballot::DecodeFrom(r));
+  SAMYA_ASSIGN_OR_RETURN(m.value, StateList::DecodeFrom(r));
+  SAMYA_ASSIGN_OR_RETURN(m.decision, r.GetBool());
+  return m;
+}
+
+void AcceptOk::EncodeTo(BufferWriter& w) const {
+  w.PutVarintSigned(instance);
+  ballot.EncodeTo(w);
+}
+
+Result<AcceptOk> AcceptOk::DecodeFrom(BufferReader& r) {
+  AcceptOk m;
+  SAMYA_ASSIGN_OR_RETURN(m.instance, r.GetVarintSigned());
+  SAMYA_ASSIGN_OR_RETURN(m.ballot, Ballot::DecodeFrom(r));
+  return m;
+}
+
+void DecisionMsg::EncodeTo(BufferWriter& w) const {
+  w.PutVarintSigned(instance);
+  ballot.EncodeTo(w);
+  value.EncodeTo(w);
+}
+
+Result<DecisionMsg> DecisionMsg::DecodeFrom(BufferReader& r) {
+  DecisionMsg m;
+  SAMYA_ASSIGN_OR_RETURN(m.instance, r.GetVarintSigned());
+  SAMYA_ASSIGN_OR_RETURN(m.ballot, Ballot::DecodeFrom(r));
+  SAMYA_ASSIGN_OR_RETURN(m.value, StateList::DecodeFrom(r));
+  return m;
+}
+
+void Discard::EncodeTo(BufferWriter& w) const {
+  w.PutVarintSigned(instance);
+  ballot.EncodeTo(w);
+}
+
+Result<Discard> Discard::DecodeFrom(BufferReader& r) {
+  Discard m;
+  SAMYA_ASSIGN_OR_RETURN(m.instance, r.GetVarintSigned());
+  SAMYA_ASSIGN_OR_RETURN(m.ballot, Ballot::DecodeFrom(r));
+  return m;
+}
+
+void StatusQuery::EncodeTo(BufferWriter& w) const {
+  w.PutVarintSigned(instance);
+}
+
+Result<StatusQuery> StatusQuery::DecodeFrom(BufferReader& r) {
+  StatusQuery m;
+  SAMYA_ASSIGN_OR_RETURN(m.instance, r.GetVarintSigned());
+  return m;
+}
+
+void StatusReply::EncodeTo(BufferWriter& w) const {
+  w.PutVarintSigned(instance);
+  w.PutU8(static_cast<uint8_t>(kind));
+  value.EncodeTo(w);
+}
+
+Result<StatusReply> StatusReply::DecodeFrom(BufferReader& r) {
+  StatusReply m;
+  SAMYA_ASSIGN_OR_RETURN(m.instance, r.GetVarintSigned());
+  SAMYA_ASSIGN_OR_RETURN(uint8_t kind, r.GetU8());
+  if (kind < 1 || kind > 4) return Status::Corruption("bad status-reply kind");
+  m.kind = static_cast<Kind>(kind);
+  SAMYA_ASSIGN_OR_RETURN(m.value, StateList::DecodeFrom(r));
+  return m;
+}
+
+void ReadQuery::EncodeTo(BufferWriter& w) const { w.PutU64(read_id); }
+
+Result<ReadQuery> ReadQuery::DecodeFrom(BufferReader& r) {
+  ReadQuery m;
+  SAMYA_ASSIGN_OR_RETURN(m.read_id, r.GetU64());
+  return m;
+}
+
+void ReadReply::EncodeTo(BufferWriter& w) const {
+  w.PutU64(read_id);
+  w.PutVarintSigned(tokens_left);
+}
+
+Result<ReadReply> ReadReply::DecodeFrom(BufferReader& r) {
+  ReadReply m;
+  SAMYA_ASSIGN_OR_RETURN(m.read_id, r.GetU64());
+  SAMYA_ASSIGN_OR_RETURN(m.tokens_left, r.GetVarintSigned());
+  return m;
+}
+
+}  // namespace samya::core

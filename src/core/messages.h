@@ -1,0 +1,169 @@
+#ifndef SAMYA_CORE_MESSAGES_H_
+#define SAMYA_CORE_MESSAGES_H_
+
+#include <cstdint>
+
+#include "core/types.h"
+
+namespace samya::core {
+
+/// \file
+/// Wire messages of the Avantan redistribution protocol (types 200-229) and
+/// Samya's site-internal read fan-out (230-239). See common/token_api.h for
+/// the global type registry.
+///
+/// Every message carries an *instance id* in addition to the paper's ballot:
+/// in Avantan[n+1/2] instances form the global sequence of redistributions
+/// (the paper's "t-th redistribution"), in Avantan[*] an instance is named by
+/// its initiating leader and a per-leader sequence number. Keying protocol
+/// state by instance is what lets a recovering site distinguish "this
+/// redistribution already finished" from "this redistribution is still
+/// undecided" — without it, a recovery could re-apply an old AcceptVal over
+/// tokens that have since moved (see DESIGN.md §4).
+
+inline constexpr uint32_t kMsgElectionGetValue = 200;
+inline constexpr uint32_t kMsgElectionOkValue = 201;
+inline constexpr uint32_t kMsgAcceptValue = 202;
+inline constexpr uint32_t kMsgAcceptOk = 203;
+inline constexpr uint32_t kMsgDecision = 204;
+inline constexpr uint32_t kMsgDiscard = 205;
+inline constexpr uint32_t kMsgStatusQuery = 206;
+inline constexpr uint32_t kMsgStatusReply = 207;
+
+inline constexpr uint32_t kMsgReadQuery = 230;
+inline constexpr uint32_t kMsgReadReply = 231;
+
+/// Instance identifier. Majority mode: the redistribution sequence number.
+/// Any mode: (leader id << 32) | leader-local sequence.
+using InstanceId = int64_t;
+
+InstanceId MakeAnyInstance(sim::NodeId leader, uint32_t seq);
+
+/// Phase-1 request: "elect me and give me your state" (Algorithm 1 line 4).
+///
+/// `recovery` distinguishes a fresh redistribution from a failure-recovery
+/// election. Responding to a fresh election with one's InitVal freezes the
+/// responder's pool (its snapshot may end up in the value); a recovery
+/// election must not drag new sites into the instance, so un-engaged
+/// responders contribute only their acceptor state, keep serving, and stay
+/// out of any freshly-constructed value.
+struct ElectionGetValue {
+  InstanceId instance = 0;
+  Ballot ballot;
+  bool recovery = false;
+
+  void EncodeTo(BufferWriter& w) const;
+  static Result<ElectionGetValue> DecodeFrom(BufferReader& r);
+};
+
+/// Phase-1 response (Algorithm 1 line 13), extended with the catch-up
+/// variants a sequenced implementation needs.
+struct ElectionOkValue {
+  enum class Kind : uint8_t {
+    kOk = 1,              ///< normal participation: init_val + recovery state
+    kAlreadyDecided = 2,  ///< this instance decided earlier; value attached
+    kBehind = 3,          ///< responder hasn't applied earlier instances yet
+  };
+
+  InstanceId instance = 0;
+  Ballot ballot;
+  Kind kind = Kind::kOk;
+  /// False when an un-engaged site answers a recovery election: it shares
+  /// acceptor state but does not offer its tokens (and does not freeze).
+  bool has_init_val = true;
+  EntityState init_val;     // kOk, meaningful iff has_init_val
+  StateList accept_val;     // kOk: non-empty only during failure recovery
+  Ballot accept_num;        // kOk
+  bool decision = false;    // kOk
+  StateList decided_value;  // kAlreadyDecided
+  int64_t next_instance = 0;  // kBehind: responder's first unapplied instance
+
+  void EncodeTo(BufferWriter& w) const;
+  static Result<ElectionOkValue> DecodeFrom(BufferReader& r);
+};
+
+/// Phase-2 request (Algorithm 1 line 24).
+struct AcceptValue {
+  InstanceId instance = 0;
+  Ballot ballot;
+  StateList value;
+  bool decision = false;
+
+  void EncodeTo(BufferWriter& w) const;
+  static Result<AcceptValue> DecodeFrom(BufferReader& r);
+};
+
+/// Phase-2 ack (Algorithm 1 line 31).
+struct AcceptOk {
+  InstanceId instance = 0;
+  Ballot ballot;
+
+  void EncodeTo(BufferWriter& w) const;
+  static Result<AcceptOk> DecodeFrom(BufferReader& r);
+};
+
+/// Phase-3 broadcast (Algorithm 1 line 35). Carries the decided value so a
+/// cohort that missed Accept-Value can still terminate and reallocate.
+struct DecisionMsg {
+  InstanceId instance = 0;
+  Ballot ballot;
+  StateList value;
+
+  void EncodeTo(BufferWriter& w) const;
+  static Result<DecisionMsg> DecodeFrom(BufferReader& r);
+};
+
+/// Avantan[*]: leader tells a non-participant (or an aborted instance's
+/// cohort) to discard the instance and unfreeze.
+struct Discard {
+  InstanceId instance = 0;
+  Ballot ballot;
+
+  void EncodeTo(BufferWriter& w) const;
+  static Result<Discard> DecodeFrom(BufferReader& r);
+};
+
+/// Avantan[*] failure recovery: a blocked cohort asks R_t members where the
+/// instance stands (§4.3.2 recovery case ii).
+struct StatusQuery {
+  InstanceId instance = 0;
+
+  void EncodeTo(BufferWriter& w) const;
+  static Result<StatusQuery> DecodeFrom(BufferReader& r);
+};
+
+struct StatusReply {
+  enum class Kind : uint8_t {
+    kDecided = 1,   ///< instance decided; value attached
+    kAborted = 2,   ///< responder aborted/discarded the instance
+    kAccepted = 3,  ///< responder holds AcceptVal but no decision
+    kUnknown = 4,   ///< responder never saw the instance
+  };
+
+  InstanceId instance = 0;
+  Kind kind = Kind::kUnknown;
+  StateList value;  // kDecided / kAccepted
+
+  void EncodeTo(BufferWriter& w) const;
+  static Result<StatusReply> DecodeFrom(BufferReader& r);
+};
+
+/// Global-snapshot read fan-out (§5.8).
+struct ReadQuery {
+  uint64_t read_id = 0;
+
+  void EncodeTo(BufferWriter& w) const;
+  static Result<ReadQuery> DecodeFrom(BufferReader& r);
+};
+
+struct ReadReply {
+  uint64_t read_id = 0;
+  int64_t tokens_left = 0;
+
+  void EncodeTo(BufferWriter& w) const;
+  static Result<ReadReply> DecodeFrom(BufferReader& r);
+};
+
+}  // namespace samya::core
+
+#endif  // SAMYA_CORE_MESSAGES_H_

@@ -1,0 +1,557 @@
+#include "core/site.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/macros.h"
+
+namespace samya::core {
+
+namespace {
+constexpr uint64_t kEpochTimer = 1;
+constexpr uint64_t kLeaderTimer = 2;
+constexpr uint64_t kWatchdogTimer = 3;
+constexpr uint64_t kStatusRetryTimer = 4;
+
+uint64_t ReadTimerToken(uint64_t read_id) { return (read_id << 3) | 5; }
+bool IsReadTimer(uint64_t token) { return (token & 7) == 5; }
+uint64_t ReadIdOf(uint64_t token) { return token >> 3; }
+
+const char* kKeyTokens = "site/tokens";
+const char* kKeyBallot = "site/ballot";
+const char* kKeyNextInstance = "site/next_instance";
+const char* kKeyAnySeq = "site/any_seq";
+const char* kKeyEngaged = "site/engaged";
+std::string AbortedKey(InstanceId i) {
+  return "site/aborted/" + std::to_string(i);
+}
+}  // namespace
+
+Site::Site(sim::NodeId id, sim::Region region, SiteOptions opts)
+    : Node(id, region), opts_(std::move(opts)) {
+  SAMYA_CHECK(!opts_.sites.empty());
+  if (opts_.reallocator == nullptr) {
+    opts_.reallocator = std::make_shared<GreedyReallocator>();
+  }
+  if (!opts_.predictor_factory) {
+    const size_t period = opts_.seasonal_period;
+    opts_.predictor_factory = [period] {
+      return predict::MakeSeasonalNaive(period);
+    };
+  }
+}
+
+Site::~Site() = default;
+
+void Site::Start() {
+  tokens_left_ = opts_.initial_tokens;
+  LoadDurable();
+  predictor_ = opts_.predictor_factory();
+  if (!opts_.training_series.empty()) {
+    Status st = predictor_->Train(opts_.training_series);
+    SAMYA_CHECK_MSG(st.ok(), "predictor training failed: %s",
+                    st.ToString().c_str());
+  }
+  SetTimer(opts_.epoch, kEpochTimer);
+}
+
+void Site::HandleCrash() {
+  queue_.clear();
+  queued_ids_.clear();
+  committed_writes_.clear();
+  committed_writes_prev_.clear();
+  reads_.clear();
+  election_responses_.clear();
+  status_replies_.clear();
+  pending_decisions_.clear();
+  accept_ok_from_.clear();
+  engaged_.reset();
+  role_ = Role::kNone;
+  leader_phase_ = LeaderPhase::kIdle;
+  cohort_leader_ = sim::kInvalidNode;
+  accept_val_ = StateList{};
+  accept_num_ = Ballot{};
+  decision_ = false;
+  tokens_left_ = 0;
+  tokens_wanted_ = 0;
+  ballot_ = Ballot{};
+  next_instance_ = 0;
+  any_seq_ = 0;
+  outcomes_.clear();
+  aborted_.clear();
+  demand_this_epoch_ = 0;
+  predictor_.reset();
+}
+
+void Site::HandleRecover() {
+  tokens_left_ = opts_.initial_tokens;
+  LoadDurable();
+  predictor_ = opts_.predictor_factory();
+  if (!opts_.training_series.empty()) {
+    (void)predictor_->Train(opts_.training_series);
+  }
+  SetTimer(opts_.epoch, kEpochTimer);
+  if (engaged_.has_value()) {
+    // We crashed mid-instance; resume as a cohort and let the watchdog drive
+    // recovery for the engaged instance.
+    role_ = Role::kCohort;
+    leader_phase_ = LeaderPhase::kIdle;
+    watchdog_timer_ = SetTimer(
+        opts_.watchdog_timeout + rng().UniformInt(0, Millis(200)),
+        kWatchdogTimer);
+  }
+}
+
+void Site::Persist() {
+  if (storage_ == nullptr) return;
+  BufferWriter w;
+  w.PutVarintSigned(tokens_left_);
+  w.PutVarintSigned(tokens_wanted_);
+  SAMYA_CHECK(storage_->Put(kKeyTokens, w.buffer()).ok());
+
+  BufferWriter wb;
+  ballot_.EncodeTo(wb);
+  SAMYA_CHECK(storage_->Put(kKeyBallot, wb.buffer()).ok());
+
+  BufferWriter wn;
+  wn.PutVarintSigned(next_instance_);
+  SAMYA_CHECK(storage_->Put(kKeyNextInstance, wn.buffer()).ok());
+
+  BufferWriter wa;
+  wa.PutVarint(any_seq_);
+  SAMYA_CHECK(storage_->Put(kKeyAnySeq, wa.buffer()).ok());
+
+  BufferWriter we;
+  we.PutBool(engaged_.has_value());
+  we.PutVarintSigned(engaged_.value_or(0));
+  accept_val_.EncodeTo(we);
+  accept_num_.EncodeTo(we);
+  we.PutBool(decision_);
+  we.PutVarintSigned(cohort_leader_);
+  SAMYA_CHECK(storage_->Put(kKeyEngaged, we.buffer()).ok());
+}
+
+void Site::LoadDurable() {
+  if (storage_ == nullptr) return;
+  if (auto v = storage_->Get(kKeyTokens); v.ok()) {
+    BufferReader r(*v);
+    tokens_left_ = r.GetVarintSigned().value();
+    tokens_wanted_ = r.GetVarintSigned().value();
+  }
+  if (auto v = storage_->Get(kKeyBallot); v.ok()) {
+    BufferReader r(*v);
+    ballot_ = Ballot::DecodeFrom(r).value();
+  }
+  if (auto v = storage_->Get(kKeyNextInstance); v.ok()) {
+    BufferReader r(*v);
+    next_instance_ = r.GetVarintSigned().value();
+  }
+  if (auto v = storage_->Get(kKeyAnySeq); v.ok()) {
+    BufferReader r(*v);
+    any_seq_ = static_cast<uint32_t>(r.GetVarint().value());
+  }
+  if (auto v = storage_->Get(kKeyEngaged); v.ok()) {
+    BufferReader r(*v);
+    const bool engaged = r.GetBool().value();
+    const InstanceId instance = r.GetVarintSigned().value();
+    accept_val_ = StateList::DecodeFrom(r).value();
+    accept_num_ = Ballot::DecodeFrom(r).value();
+    decision_ = r.GetBool().value();
+    cohort_leader_ = static_cast<sim::NodeId>(r.GetVarintSigned().value());
+    engaged_ = engaged ? std::optional<InstanceId>(instance) : std::nullopt;
+  }
+  for (const auto& key : storage_->Keys()) {
+    if (key.rfind("site/outcome/", 0) == 0) {
+      auto v = storage_->Get(key);
+      SAMYA_CHECK(v.ok());
+      BufferReader r(*v);
+      outcomes_[std::stoll(key.substr(13))] = StateList::DecodeFrom(r).value();
+    } else if (key.rfind("site/aborted/", 0) == 0) {
+      aborted_.insert(std::stoll(key.substr(13)));
+    }
+  }
+}
+
+void Site::HandleTimer(uint64_t token) {
+  if (token == kEpochTimer) {
+    OnEpochTick();
+    return;
+  }
+  if (IsReadTimer(token)) {
+    CompleteRead(ReadIdOf(token));
+    return;
+  }
+  if (token == kLeaderTimer) {
+    if (role_ != Role::kLeader || !engaged_.has_value()) return;
+    const InstanceId instance = *engaged_;
+    if (leader_phase_ == LeaderPhase::kElection) {
+      if (!IsAnyMode() && recovery_mode_) {
+        // A recovery election could not reach a majority; stay engaged
+        // (blocked, per §4.3.1) and retry after a backoff.
+        role_ = Role::kCohort;
+        leader_phase_ = LeaderPhase::kIdle;
+        watchdog_timer_ = SetTimer(
+            opts_.watchdog_timeout +
+                rng().UniformInt(0, opts_.watchdog_timeout / 2),
+            kWatchdogTimer);
+        return;
+      }
+      // Fresh instance, no value constructed yet: aborting is safe
+      // (§4.3.1 Fault Tolerance) — our snapshot never left this site.
+      if (IsAnyMode()) {
+        BufferWriter w;
+        Discard{instance, ballot_}.EncodeTo(w);
+        for (const auto& [site, _] : election_responses_) {
+          if (site != id()) Send(site, kMsgDiscard, w);
+        }
+      }
+      AbortInstance(instance);
+      return;
+    }
+    // Accept phase stalled: the value may contain other sites' snapshots,
+    // so aborting is no longer safe; run failure recovery instead.
+    if (IsAnyMode()) {
+      StartAnyRecovery();
+    } else {
+      StartMajorityElection(instance, /*recovery=*/true);
+    }
+    return;
+  }
+  if (token == kWatchdogTimer) {
+    if (role_ != Role::kCohort || !engaged_.has_value()) return;
+    const InstanceId instance = *engaged_;
+    SAMYA_LOG_DEBUG("site %d watchdog fired for instance %lld", id(),
+                    static_cast<long long>(instance));
+    if (IsAnyMode()) {
+      if (accept_val_.empty()) {
+        // §4.3.2 recovery case (i): we never accepted, so the leader cannot
+        // have decided; refusing the instance from now on makes this safe.
+        aborted_.insert(instance);
+        if (storage_ != nullptr) {
+          SAMYA_CHECK(storage_->Put(AbortedKey(instance), {}).ok());
+        }
+        AbortInstance(instance);
+      } else {
+        StartAnyRecovery();
+      }
+    } else {
+      StartMajorityElection(instance, /*recovery=*/true);
+    }
+    return;
+  }
+  if (token == kStatusRetryTimer) {
+    if (engaged_.has_value() && !accept_val_.empty()) StartAnyRecovery();
+    return;
+  }
+  SAMYA_CHECK_MSG(false, "site %d: unexpected timer token %llu", id(),
+                  static_cast<unsigned long long>(token));
+}
+
+// --------------------------------------------------------------------------
+// Request handling (§4.1.2 steps 1-3)
+// --------------------------------------------------------------------------
+
+void Site::HandleMessage(sim::NodeId from, uint32_t type, BufferReader& r) {
+  switch (type) {
+    case kMsgTokenRequest:
+      OnClientRequest(from, r);
+      break;
+    case kMsgElectionGetValue:
+      OnElectionGetValue(from, ElectionGetValue::DecodeFrom(r).value());
+      break;
+    case kMsgElectionOkValue:
+      OnElectionOkValue(from, ElectionOkValue::DecodeFrom(r).value());
+      break;
+    case kMsgAcceptValue:
+      OnAcceptValue(from, AcceptValue::DecodeFrom(r).value());
+      break;
+    case kMsgAcceptOk:
+      OnAcceptOk(from, AcceptOk::DecodeFrom(r).value());
+      break;
+    case kMsgDecision:
+      OnDecisionMsg(from, DecisionMsg::DecodeFrom(r).value());
+      break;
+    case kMsgDiscard:
+      OnDiscard(from, Discard::DecodeFrom(r).value());
+      break;
+    case kMsgStatusQuery:
+      OnStatusQuery(from, StatusQuery::DecodeFrom(r).value());
+      break;
+    case kMsgStatusReply:
+      OnStatusReply(from, StatusReply::DecodeFrom(r).value());
+      break;
+    case kMsgReadQuery:
+      OnReadQuery(from, ReadQuery::DecodeFrom(r).value());
+      break;
+    case kMsgReadReply:
+      OnReadReply(ReadReply::DecodeFrom(r).value());
+      break;
+    default:
+      SAMYA_CHECK_MSG(false, "site: unknown message type %u", type);
+  }
+}
+
+void Site::OnClientRequest(sim::NodeId from, BufferReader& r) {
+  auto req = TokenRequest::DecodeFrom(r);
+  if (!req.ok()) return;
+  if (req->op != TokenOp::kRead && req->amount <= 0) {
+    Respond(from, req->request_id, TokenStatus::kRejected, tokens_left_);
+    return;
+  }
+  if (req->op != TokenOp::kRead) {
+    if (const int64_t* cached = LookupWrite(req->request_id)) {
+      Respond(from, req->request_id, TokenStatus::kCommitted, *cached);
+      return;
+    }
+    // A retry of a request that is still queued: stay silent; the queued
+    // copy will answer when it drains.
+    if (queued_ids_.count(req->request_id) > 0) return;
+  }
+  if (req->op == TokenOp::kAcquire) {
+    demand_this_epoch_ += static_cast<double>(req->amount);
+  }
+  if (req->op != TokenOp::kRead && frozen()) {
+    // §4.3: queue writes until the redistribution instance terminates.
+    queue_.push_back(QueuedRequest{from, *req});
+    queued_ids_.insert(req->request_id);
+    ++stats_.requests_queued;
+    return;
+  }
+  ServeOrQueue(from, *req);
+}
+
+void Site::ServeOrQueue(sim::NodeId client, const TokenRequest& req) {
+  if (ServeLocally(client, req)) return;
+
+  // Unservable acquire: trigger a reactive redistribution (Eq. 5) unless
+  // redistribution is disabled or recently aborted.
+  if (opts_.enable_redistribution && Now() >= abort_backoff_until_) {
+    queue_.push_back(QueuedRequest{client, req});
+    queued_ids_.insert(req.request_id);
+    ++stats_.requests_queued;
+    TriggerReactive(req.amount);
+    return;
+  }
+  ++stats_.rejected;
+  Respond(client, req.request_id, TokenStatus::kRejected, tokens_left_);
+}
+
+bool Site::ServeLocally(sim::NodeId client, const TokenRequest& req) {
+  switch (req.op) {
+    case TokenOp::kAcquire:
+      if (!opts_.enforce_constraint) {
+        tokens_left_ -= req.amount;  // unconstrained baseline: may go negative
+        ++stats_.committed_acquires;
+        Respond(client, req.request_id, TokenStatus::kCommitted, tokens_left_);
+        return true;
+      }
+      if (tokens_left_ >= req.amount) {
+        tokens_left_ -= req.amount;
+        Persist();
+        ++stats_.committed_acquires;
+        RememberWrite(req.request_id, tokens_left_);
+        Respond(client, req.request_id, TokenStatus::kCommitted, tokens_left_);
+        return true;
+      }
+      return false;
+    case TokenOp::kRelease:
+      tokens_left_ += req.amount;
+      Persist();
+      ++stats_.committed_releases;
+      RememberWrite(req.request_id, tokens_left_);
+      Respond(client, req.request_id, TokenStatus::kCommitted, tokens_left_);
+      return true;
+    case TokenOp::kRead:
+      StartGlobalRead(client, req);
+      return true;
+  }
+  return false;
+}
+
+void Site::Respond(sim::NodeId client, uint64_t request_id, TokenStatus status,
+                   int64_t value) {
+  TokenResponse resp;
+  resp.request_id = request_id;
+  resp.status = status;
+  resp.value = value;
+  BufferWriter w;
+  resp.EncodeTo(w);
+  Send(client, kMsgTokenResponse, w);
+}
+
+void Site::DrainQueue() {
+  // Serve in arrival order; acquires the refreshed pool cannot satisfy are
+  // rejected rather than re-triggering, so a dry global pool cannot livelock
+  // redistribution (new arrivals may trigger again).
+  while (!frozen() && !queue_.empty()) {
+    QueuedRequest q = std::move(queue_.front());
+    queue_.pop_front();
+    queued_ids_.erase(q.request.request_id);
+    if (!ServeLocally(q.client, q.request)) {
+      ++stats_.rejected;
+      Respond(q.client, q.request.request_id, TokenStatus::kRejected,
+              tokens_left_);
+    }
+  }
+}
+
+// --------------------------------------------------------------------------
+// Prediction & triggering (§4.2)
+// --------------------------------------------------------------------------
+
+void Site::OnEpochTick() {
+  if (predictor_ != nullptr) predictor_->Observe(demand_this_epoch_);
+  demand_this_epoch_ = 0;
+  MaybeTriggerProactive();
+  SetTimer(opts_.epoch, kEpochTimer);
+}
+
+void Site::MaybeTriggerProactive() {
+  if (!opts_.enable_prediction || !opts_.enable_redistribution) return;
+  if (frozen() || predictor_ == nullptr) return;
+  if (Now() < abort_backoff_until_) return;
+  const double predicted = predictor_->PredictNext();
+  if (predicted > static_cast<double>(tokens_left_)) {
+    // Eq. 4's trigger: the next epoch's demand cannot be met locally. The
+    // request is sized for the provisioning horizon so one redistribution
+    // covers a whole demand ramp instead of one epoch at a time.
+    const double provision =
+        predicted * static_cast<double>(opts_.prediction_horizon_epochs);
+    tokens_wanted_ = static_cast<int64_t>(provision) - tokens_left_;
+    ++stats_.proactive_redistributions;
+    StartInstance();
+  }
+}
+
+void Site::TriggerReactive(int64_t needed) {
+  // Eq. 5: TokensWanted = m (plus any predicted shortfall already pending).
+  tokens_wanted_ = std::max(tokens_wanted_, needed);
+  ++stats_.reactive_redistributions;
+  StartInstance();
+}
+
+void Site::TriggerRedistributionForTest(int64_t wanted) {
+  tokens_wanted_ = wanted;
+  StartInstance();
+}
+
+void Site::StartInstance() {
+  if (frozen() || !opts_.enable_redistribution) return;
+  if (IsAnyMode()) {
+    StartAnyElection();
+  } else {
+    StartMajorityElection(next_instance_, /*recovery=*/false);
+  }
+}
+
+// --------------------------------------------------------------------------
+// Global-snapshot reads (§5.8)
+// --------------------------------------------------------------------------
+
+void Site::StartGlobalRead(sim::NodeId client, const TokenRequest& req) {
+  if (opts_.sites.size() == 1) {
+    ++stats_.committed_reads;
+    Respond(client, req.request_id, TokenStatus::kCommitted, tokens_left_);
+    return;
+  }
+  const uint64_t read_id = next_read_id_++;
+  PendingRead& pending = reads_[read_id];
+  pending.client = client;
+  pending.request_id = req.request_id;
+  pending.timer = SetTimer(opts_.read_timeout, ReadTimerToken(read_id));
+  BufferWriter w;
+  ReadQuery{read_id}.EncodeTo(w);
+  for (sim::NodeId site : opts_.sites) {
+    if (site != id()) Send(site, kMsgReadQuery, w);
+  }
+}
+
+void Site::OnReadQuery(sim::NodeId from, const ReadQuery& m) {
+  BufferWriter w;
+  ReadReply{m.read_id, tokens_left_}.EncodeTo(w);
+  Send(from, kMsgReadReply, w);
+}
+
+void Site::OnReadReply(const ReadReply& m) {
+  auto it = reads_.find(m.read_id);
+  if (it == reads_.end()) return;
+  it->second.sum += m.tokens_left;
+  ++it->second.replies;
+  if (it->second.replies == opts_.sites.size() - 1) {
+    CancelTimer(it->second.timer);
+    CompleteRead(m.read_id);
+  }
+}
+
+void Site::CompleteRead(uint64_t read_id) {
+  auto it = reads_.find(read_id);
+  if (it == reads_.end()) return;
+  ++stats_.committed_reads;
+  Respond(it->second.client, it->second.request_id, TokenStatus::kCommitted,
+          it->second.sum + tokens_left_);
+  reads_.erase(it);
+}
+
+// --------------------------------------------------------------------------
+// Shared helpers
+// --------------------------------------------------------------------------
+
+void Site::SendDecisionTo(sim::NodeId to, InstanceId instance,
+                          const StateList& value) {
+  BufferWriter w;
+  DecisionMsg{instance, ballot_, value}.EncodeTo(w);
+  Send(to, kMsgDecision, w);
+}
+
+void Site::BroadcastToOthers(uint32_t type, const BufferWriter& w,
+                             const std::vector<sim::NodeId>& targets) {
+  for (sim::NodeId site : targets) {
+    if (site != id()) Send(site, type, w);
+  }
+}
+
+void Site::RememberWrite(uint64_t request_id, int64_t value) {
+  if (committed_writes_.size() >= kDedupGenerationSize) {
+    committed_writes_prev_ = std::move(committed_writes_);
+    committed_writes_ = {};
+  }
+  committed_writes_[request_id] = value;
+}
+
+const int64_t* Site::LookupWrite(uint64_t request_id) const {
+  auto it = committed_writes_.find(request_id);
+  if (it != committed_writes_.end()) return &it->second;
+  it = committed_writes_prev_.find(request_id);
+  if (it != committed_writes_prev_.end()) return &it->second;
+  return nullptr;
+}
+
+void Site::Engage(InstanceId instance) {
+  if (!engaged_.has_value()) freeze_started_ = Now();
+  engaged_ = instance;
+}
+
+void Site::AccountUnfreeze() {
+  if (engaged_.has_value()) stats_.time_frozen += Now() - freeze_started_;
+}
+
+EntityState Site::BuildInitVal() {
+  return EntityState{id(), tokens_left_, tokens_wanted_};
+}
+
+void Site::ResetInstanceState() {
+  accept_val_ = StateList{};
+  accept_num_ = Ballot{};
+  decision_ = false;
+  election_responses_.clear();
+  status_replies_.clear();
+  accept_ok_from_.clear();
+  role_ = Role::kNone;
+  leader_phase_ = LeaderPhase::kIdle;
+  recovery_mode_ = false;
+  cohort_leader_ = sim::kInvalidNode;
+  CancelTimer(leader_timer_);
+  CancelTimer(watchdog_timer_);
+}
+
+}  // namespace samya::core

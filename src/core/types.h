@@ -1,0 +1,58 @@
+#ifndef SAMYA_CORE_TYPES_H_
+#define SAMYA_CORE_TYPES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/codec.h"
+#include "consensus/types.h"
+#include "sim/node.h"
+
+namespace samya::core {
+
+using consensus::Ballot;
+
+/// State of an entity at one site (paper Table 1a). `site` identifies whose
+/// state this is when entries travel inside AcceptVal lists.
+struct EntityState {
+  sim::NodeId site = sim::kInvalidNode;
+  int64_t tokens_left = 0;    ///< TokensLeft_S
+  int64_t tokens_wanted = 0;  ///< TokensWanted_S
+
+  bool operator==(const EntityState& o) const {
+    return site == o.site && tokens_left == o.tokens_left &&
+           tokens_wanted == o.tokens_wanted;
+  }
+
+  void EncodeTo(BufferWriter& w) const;
+  static Result<EntityState> DecodeFrom(BufferReader& r);
+};
+
+/// The AcceptVal of Avantan: the list L_t of participating sites' states
+/// (Eq. 6). Unlike Paxos, the agreed-upon value is a *list* of InitVals.
+struct StateList {
+  std::vector<EntityState> entries;
+
+  bool empty() const { return entries.empty(); }
+  bool operator==(const StateList& o) const { return entries == o.entries; }
+
+  /// The participant set R_t, implied by the entries.
+  std::vector<sim::NodeId> Participants() const;
+  bool Contains(sim::NodeId site) const;
+
+  void EncodeTo(BufferWriter& w) const;
+  static Result<StateList> DecodeFrom(BufferReader& r);
+
+  std::string ToString() const;
+};
+
+/// Outcome of the deterministic reallocation (Algorithm 2) for one site.
+struct Grant {
+  sim::NodeId site = sim::kInvalidNode;
+  int64_t tokens_granted = 0;
+};
+
+}  // namespace samya::core
+
+#endif  // SAMYA_CORE_TYPES_H_

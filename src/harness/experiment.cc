@@ -1,0 +1,309 @@
+#include "harness/experiment.h"
+
+#include <algorithm>
+
+#include "baselines/demarcation.h"
+#include "baselines/site_escrow.h"
+#include "baselines/replicated.h"
+#include "common/macros.h"
+#include "core/app_manager.h"
+#include "workload/transform.h"
+
+namespace samya::harness {
+
+namespace {
+
+/// The five client regions of §5.2.
+constexpr std::array<sim::Region, 5> kClientRegions = sim::kPaperRegions;
+
+}  // namespace
+
+const char* SystemName(SystemKind kind) {
+  switch (kind) {
+    case SystemKind::kSamyaMajority:
+      return "Samya w/ Avantan[(n+1)/2]";
+    case SystemKind::kSamyaAny:
+      return "Samya w/ Avantan[*]";
+    case SystemKind::kMultiPaxSys:
+      return "MultiPaxSys";
+    case SystemKind::kCockroachLike:
+      return "CockroachDB-like (Raft)";
+    case SystemKind::kDemarcation:
+      return "Demarcation/Escrow";
+    case SystemKind::kSiteEscrow:
+      return "Generalised Site Escrow (gossip)";
+    case SystemKind::kSamyaNoConstraint:
+      return "Samya (no constraints)";
+    case SystemKind::kSamyaNoRedistribution:
+      return "Samya (no redistribution)";
+    case SystemKind::kSamyaMajorityNoPredict:
+      return "Samya w/ Av.[(n+1)/2], no prediction";
+    case SystemKind::kSamyaAnyNoPredict:
+      return "Samya w/ Av.[*], no prediction";
+  }
+  return "?";
+}
+
+bool IsSamyaVariant(SystemKind kind) {
+  switch (kind) {
+    case SystemKind::kMultiPaxSys:
+    case SystemKind::kCockroachLike:
+    case SystemKind::kDemarcation:
+    case SystemKind::kSiteEscrow:
+      return false;
+    default:
+      return true;
+  }
+}
+
+Experiment::Experiment(ExperimentOptions opts) : opts_(std::move(opts)) {
+  SAMYA_CHECK_GE(opts_.num_sites, 1);
+}
+
+std::vector<double> Experiment::RegionDemandSeries(int region_index) const {
+  workload::AzureTraceOptions topts = opts_.trace;
+  auto trace = workload::GenerateAzureTrace(topts);
+  double scale = opts_.load_scale;
+  if (opts_.scale_load_with_sites) {
+    scale *= static_cast<double>(opts_.num_sites) / 5.0;
+  }
+  if (scale != 1.0) {
+    trace = workload::ScaleCounts(trace, scale, opts_.seed + 100);
+  }
+  auto compressed = workload::CompressTime(trace, opts_.compress_factor);
+  const Duration day = compressed.interval() * 288;
+  auto shifted = workload::PhaseShift(
+      compressed, day * region_index / 5);
+  auto series = shifted.CreationSeries();
+  // Several sites share a region's load; each observes its slice.
+  const int sites_in_region =
+      (opts_.num_sites + 4 - region_index) / 5;  // round-robin placement
+  if (sites_in_region > 1) {
+    for (double& v : series) v /= static_cast<double>(sites_in_region);
+  }
+  return series;
+}
+
+void Experiment::Setup() {
+  SAMYA_CHECK(!setup_done_);
+  setup_done_ = true;
+  cluster_ = std::make_unique<sim::Cluster>(opts_.seed);
+  faults_ = std::make_unique<sim::FaultInjector>(&cluster_->net());
+
+  if (opts_.system == SystemKind::kDemarcation ||
+      opts_.system == SystemKind::kSiteEscrow) {
+    SetupDemarcation();
+  } else if (!IsSamyaVariant(opts_.system)) {
+    SetupReplicated();
+  } else {
+    SetupSamya();
+  }
+}
+
+void Experiment::SetupSamya() {
+  const int n = opts_.num_sites;
+  std::vector<sim::NodeId> site_ids;
+  for (int i = 0; i < n; ++i) site_ids.push_back(i);
+
+  for (int i = 0; i < n; ++i) {
+    core::SiteOptions sopts = opts_.site_template;
+    sopts.sites = site_ids;
+    sopts.initial_tokens = opts_.max_tokens / n;
+    sopts.seasonal_period = 288;
+    switch (opts_.system) {
+      case SystemKind::kSamyaMajority:
+        sopts.protocol = core::Protocol::kAvantanMajority;
+        break;
+      case SystemKind::kSamyaAny:
+        sopts.protocol = core::Protocol::kAvantanAny;
+        break;
+      case SystemKind::kSamyaMajorityNoPredict:
+        sopts.protocol = core::Protocol::kAvantanMajority;
+        sopts.enable_prediction = false;
+        break;
+      case SystemKind::kSamyaAnyNoPredict:
+        sopts.protocol = core::Protocol::kAvantanAny;
+        sopts.enable_prediction = false;
+        break;
+      case SystemKind::kSamyaNoConstraint:
+        sopts.enforce_constraint = false;
+        sopts.enable_redistribution = false;
+        sopts.enable_prediction = false;
+        break;
+      case SystemKind::kSamyaNoRedistribution:
+        sopts.enable_redistribution = false;
+        sopts.enable_prediction = false;
+        break;
+      default:
+        SAMYA_CHECK(false);
+    }
+    if (sopts.enable_prediction && sopts.training_series.empty()) {
+      sopts.training_series = RegionDemandSeries(i % 5);
+    }
+    auto* site = cluster_->AddNode<core::Site>(
+        kClientRegions[static_cast<size_t>(i % 5)], sopts);
+    site->set_storage(cluster_->StorageFor(site->id()));
+    sites_.push_back(site);
+    server_ids_.push_back(site->id());
+  }
+
+  // One app manager per region, preferring (and rotating over) the region's
+  // own sites, with the remaining sites as failover targets.
+  std::vector<std::vector<sim::NodeId>> am_per_region(5);
+  for (int r = 0; r < 5; ++r) {
+    core::AppManagerOptions aopts;
+    for (int i = r; i < n; i += 5) aopts.sites.push_back(site_ids[static_cast<size_t>(i)]);
+    aopts.rotate_over = aopts.sites.size();
+    for (int i = 0; i < n; ++i) {
+      if (i % 5 != r) aopts.sites.push_back(site_ids[static_cast<size_t>(i)]);
+    }
+    auto* am = cluster_->AddNode<core::AppManager>(
+        kClientRegions[static_cast<size_t>(r)], aopts);
+    am_per_region[static_cast<size_t>(r)] = {am->id()};
+  }
+  AddClients(am_per_region);
+}
+
+void Experiment::SetupDemarcation() {
+  const int n = opts_.num_sites;
+  std::vector<sim::NodeId> site_ids;
+  for (int i = 0; i < n; ++i) site_ids.push_back(i);
+  for (int i = 0; i < n; ++i) {
+    if (opts_.system == SystemKind::kSiteEscrow) {
+      baselines::SiteEscrowOptions sopts;
+      sopts.sites = site_ids;
+      sopts.initial_tokens = opts_.max_tokens / n;
+      cluster_->AddNode<baselines::SiteEscrowSite>(
+          kClientRegions[static_cast<size_t>(i % 5)], sopts);
+    } else {
+      baselines::DemarcationOptions dopts;
+      dopts.sites = site_ids;
+      dopts.initial_tokens = opts_.max_tokens / n;
+      cluster_->AddNode<baselines::DemarcationSite>(
+          kClientRegions[static_cast<size_t>(i % 5)], dopts);
+    }
+    server_ids_.push_back(site_ids[static_cast<size_t>(i)]);
+  }
+  std::vector<std::vector<sim::NodeId>> am_per_region(5);
+  for (int r = 0; r < 5; ++r) {
+    core::AppManagerOptions aopts;
+    for (int i = r; i < n; i += 5) aopts.sites.push_back(site_ids[static_cast<size_t>(i)]);
+    aopts.rotate_over = aopts.sites.size();
+    for (int i = 0; i < n; ++i) {
+      if (i % 5 != r) aopts.sites.push_back(site_ids[static_cast<size_t>(i)]);
+    }
+    auto* am = cluster_->AddNode<core::AppManager>(
+        kClientRegions[static_cast<size_t>(r)], aopts);
+    am_per_region[static_cast<size_t>(r)] = {am->id()};
+  }
+  AddClients(am_per_region);
+}
+
+void Experiment::SetupReplicated() {
+  baselines::ReplicatedGroup group =
+      opts_.system == SystemKind::kMultiPaxSys
+          ? baselines::CreateMultiPaxSys(*cluster_, opts_.max_tokens)
+          : baselines::CreateCockroachLike(*cluster_, opts_.max_tokens);
+  server_ids_ = group.replica_ids;
+  // Clients contact the replicas directly (the paper's baseline clients are
+  // plain RPC clients); the leader hint steers them after the first reply.
+  std::vector<std::vector<sim::NodeId>> servers_per_region(
+      5, group.replica_ids);
+  AddClients(servers_per_region);
+}
+
+void Experiment::AddClients(
+    const std::vector<std::vector<sim::NodeId>>& servers_per_region) {
+  for (int r = 0; r < 5; ++r) {
+    workload::AzureTraceOptions topts = opts_.trace;
+    auto trace = workload::GenerateAzureTrace(topts);
+    double scale = opts_.load_scale;
+    if (opts_.scale_load_with_sites) {
+      scale *= static_cast<double>(opts_.num_sites) / 5.0;
+    }
+    if (scale != 1.0) {
+      trace = workload::ScaleCounts(trace, scale, opts_.seed + 100);
+    }
+    auto compressed = workload::CompressTime(trace, opts_.compress_factor);
+    const Duration day = compressed.interval() * 288;
+    auto shifted = workload::PhaseShift(compressed, day * r / 5);
+
+    workload::RequestStreamOptions ropts;
+    ropts.read_ratio = opts_.read_ratio;
+    ropts.horizon = opts_.duration;
+    ropts.seed = opts_.seed + 7 + static_cast<uint64_t>(r);
+    auto script = workload::GenerateRequests(shifted, ropts);
+
+    WorkloadClientOptions copts;
+    copts.servers = servers_per_region[static_cast<size_t>(r)];
+    copts.request_timeout = opts_.client_timeout;
+    copts.max_attempts = opts_.client_attempts;
+    copts.closed_loop = opts_.closed_loop;
+    copts.window = opts_.client_window;
+    auto* client = cluster_->AddNode<WorkloadClient>(
+        kClientRegions[static_cast<size_t>(r)], copts, std::move(script));
+    clients_.push_back(client);
+    client_ids_.push_back(client->id());
+  }
+}
+
+ExperimentResult Experiment::Run() {
+  SAMYA_CHECK(setup_done_);
+  cluster_->StartAll();
+  cluster_->env().RunUntil(opts_.duration + Seconds(10));
+
+  ExperimentResult result;
+  for (auto* client : clients_) {
+    const ClientStats& s = client->stats();
+    result.per_client.push_back(s);
+    result.aggregate.latency.Merge(s.latency);
+    result.aggregate.committed_acquires += s.committed_acquires;
+    result.aggregate.committed_releases += s.committed_releases;
+    result.aggregate.committed_reads += s.committed_reads;
+    result.aggregate.rejected += s.rejected;
+    result.aggregate.dropped += s.dropped;
+    result.aggregate.sent += s.sent;
+    for (size_t bin = 0; bin < s.committed.num_bins(); ++bin) {
+      if (s.committed.bin(bin) > 0) {
+        result.throughput.Record(static_cast<SimTime>(bin) * Seconds(1),
+                                 s.committed.bin(bin));
+      }
+    }
+  }
+  for (auto* site : sites_) {
+    result.proactive_redistributions += site->stats().proactive_redistributions;
+    result.reactive_redistributions += site->stats().reactive_redistributions;
+    result.instances_completed += site->stats().instances_completed;
+    result.instances_aborted += site->stats().instances_aborted;
+    result.total_site_frozen_time += site->stats().time_frozen;
+  }
+  result.network = cluster_->net().stats();
+  result.events_executed = cluster_->env().events_executed();
+  return result;
+}
+
+int64_t Experiment::TotalSiteTokens() const {
+  int64_t sum = 0;
+  for (auto* site : sites_) sum += site->tokens_left();
+  return sum;
+}
+
+int64_t Experiment::ServerNetAcquires() const {
+  int64_t net = 0;
+  for (auto* site : sites_) {
+    net += static_cast<int64_t>(site->stats().committed_acquires) -
+           static_cast<int64_t>(site->stats().committed_releases);
+  }
+  return net;
+}
+
+int64_t Experiment::NetCommittedAcquires() const {
+  int64_t net = 0;
+  for (auto* client : clients_) {
+    net += static_cast<int64_t>(client->stats().committed_acquires) -
+           static_cast<int64_t>(client->stats().committed_releases);
+  }
+  return net;
+}
+
+}  // namespace samya::harness

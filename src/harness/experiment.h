@@ -1,0 +1,135 @@
+#ifndef SAMYA_HARNESS_EXPERIMENT_H_
+#define SAMYA_HARNESS_EXPERIMENT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/site.h"
+#include "harness/workload_client.h"
+#include "sim/cluster.h"
+#include "sim/fault_injector.h"
+#include "workload/azure_generator.h"
+
+namespace samya::harness {
+
+/// The systems under test across §5. The ablation variants are the paper's
+/// Fig 3e/3f configurations of Samya.
+enum class SystemKind {
+  kSamyaMajority,            ///< Samya w/ Avantan[(n+1)/2]
+  kSamyaAny,                 ///< Samya w/ Avantan[*]
+  kMultiPaxSys,              ///< leader-based multi-Paxos baseline
+  kCockroachLike,            ///< Raft-based baseline (CockroachDB stand-in)
+  kDemarcation,              ///< Demarcation/Escrow baseline
+  kSiteEscrow,               ///< Generalised Site Escrow (gossip) baseline
+  kSamyaNoConstraint,        ///< Fig 3e upper bound: no limit, no sync
+  kSamyaNoRedistribution,    ///< Fig 3e: constraint but never redistribute
+  kSamyaMajorityNoPredict,   ///< Fig 3f: reactive-only Avantan[(n+1)/2]
+  kSamyaAnyNoPredict,        ///< Fig 3f: reactive-only Avantan[*]
+};
+
+const char* SystemName(SystemKind kind);
+bool IsSamyaVariant(SystemKind kind);
+
+/// One experiment configuration: a system, a workload, and a duration.
+struct ExperimentOptions {
+  SystemKind system = SystemKind::kSamyaMajority;
+  int num_sites = 5;          ///< Samya/Demarcation sites (Fig 3g sweeps this)
+  int64_t max_tokens = 5000;  ///< the global limit M_e (§5.2)
+  Duration duration = kHour;  ///< measured load window
+  double read_ratio = 0.0;    ///< Fig 3h
+  uint64_t seed = 42;
+  workload::AzureTraceOptions trace;  ///< synthetic Azure workload knobs
+  int64_t compress_factor = 60;       ///< §5.1.2: 5 min -> 5 s
+  double load_scale = 1.0;            ///< §5.9(ii) arrival-rate sweep
+  /// Scale offered load with the site count (Fig 3g adds clients as sites
+  /// are added so throughput can scale).
+  bool scale_load_with_sites = false;
+
+  // Client behaviour.
+  Duration client_timeout = Seconds(3);
+  int client_attempts = 2;
+  /// Closed-loop (saturation) clients: Fig 3h's regime, where throughput is
+  /// bounded by per-request latency instead of trace arrival times.
+  bool closed_loop = false;
+  int client_window = 4;
+
+  // Samya knobs.
+  core::SiteOptions site_template;  ///< timers/epoch defaults for sites
+};
+
+/// Aggregated measurements of one run.
+struct ExperimentResult {
+  ClientStats aggregate;              ///< merged over all clients
+  std::vector<ClientStats> per_client;
+  RateSeries throughput{Seconds(1)};  ///< committed txns/s over time
+
+  // Samya-specific counters (zero for baselines).
+  uint64_t proactive_redistributions = 0;
+  uint64_t reactive_redistributions = 0;
+  uint64_t instances_completed = 0;
+  uint64_t instances_aborted = 0;
+  /// Sum over sites of time spent frozen mid-redistribution.
+  Duration total_site_frozen_time = 0;
+
+  sim::NetworkStats network;
+  uint64_t events_executed = 0;
+
+  double MeanTps(Duration duration) const {
+    return static_cast<double>(aggregate.TotalCommitted()) /
+           ToSeconds(duration);
+  }
+};
+
+/// \brief Builds a full deployment (sites/replicas + app managers + one
+/// trace-driven client per region), runs it for `duration`, and aggregates
+/// the measurements. All figure/table benches are thin wrappers over this.
+class Experiment {
+ public:
+  explicit Experiment(ExperimentOptions opts);
+
+  /// Constructs all nodes and workloads. Call once, before Run.
+  void Setup();
+
+  /// Runs the workload to completion (duration + drain) and aggregates.
+  ExperimentResult Run();
+
+  /// Access between Setup and Run for fault/partition schedules.
+  sim::Cluster& cluster() { return *cluster_; }
+  sim::FaultInjector& faults() { return *faults_; }
+  const std::vector<sim::NodeId>& server_ids() const { return server_ids_; }
+  const std::vector<sim::NodeId>& client_ids() const { return client_ids_; }
+
+  const std::vector<core::Site*>& samya_sites() const { return sites_; }
+  const std::vector<WorkloadClient*>& clients() const { return clients_; }
+
+  /// Conservation audit (Eq. 1): sum of site TokensLeft plus net committed
+  /// acquires must equal M_e. Meaningful for Samya variants with the
+  /// constraint on, after a failure-free drained run.
+  int64_t TotalSiteTokens() const;
+  int64_t NetCommittedAcquires() const;
+  /// Server-side ledger: acquires minus releases committed by the sites
+  /// themselves. Unlike the client view, this stays exact even when a
+  /// response outlives its client's patience (e.g. across a crash).
+  int64_t ServerNetAcquires() const;
+
+ private:
+  void SetupSamya();
+  void SetupReplicated();
+  void SetupDemarcation();
+  void AddClients(const std::vector<std::vector<sim::NodeId>>& servers_per_region);
+  std::vector<double> RegionDemandSeries(int region_index) const;
+
+  ExperimentOptions opts_;
+  std::unique_ptr<sim::Cluster> cluster_;
+  std::unique_ptr<sim::FaultInjector> faults_;
+  std::vector<core::Site*> sites_;
+  std::vector<WorkloadClient*> clients_;
+  std::vector<sim::NodeId> server_ids_;
+  std::vector<sim::NodeId> client_ids_;
+  bool setup_done_ = false;
+};
+
+}  // namespace samya::harness
+
+#endif  // SAMYA_HARNESS_EXPERIMENT_H_

@@ -1,0 +1,85 @@
+#include "predict/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace samya::predict {
+
+void Matrix::RandomInit(Rng& rng, double scale) {
+  for (double& v : data_) v = rng.Uniform(-scale, scale);
+}
+
+void Matrix::Zero() { std::fill(data_.begin(), data_.end(), 0.0); }
+
+void Matrix::MultiplyAdd(const Vector& x, Vector& y) const {
+  SAMYA_CHECK_EQ(x.size(), cols_);
+  SAMYA_CHECK_EQ(y.size(), rows_);
+  for (size_t r = 0; r < rows_; ++r) {
+    const double* row = &data_[r * cols_];
+    double acc = 0.0;
+    for (size_t c = 0; c < cols_; ++c) acc += row[c] * x[c];
+    y[r] += acc;
+  }
+}
+
+void Matrix::TransposeMultiplyAdd(const Vector& x, Vector& y) const {
+  SAMYA_CHECK_EQ(x.size(), rows_);
+  SAMYA_CHECK_EQ(y.size(), cols_);
+  for (size_t r = 0; r < rows_; ++r) {
+    const double* row = &data_[r * cols_];
+    const double xr = x[r];
+    if (xr == 0.0) continue;
+    for (size_t c = 0; c < cols_; ++c) y[c] += row[c] * xr;
+  }
+}
+
+void Matrix::AddOuter(const Vector& a, const Vector& b, double scale) {
+  SAMYA_CHECK_EQ(a.size(), rows_);
+  SAMYA_CHECK_EQ(b.size(), cols_);
+  for (size_t r = 0; r < rows_; ++r) {
+    double* row = &data_[r * cols_];
+    const double ar = a[r] * scale;
+    if (ar == 0.0) continue;
+    for (size_t c = 0; c < cols_; ++c) row[c] += ar * b[c];
+  }
+}
+
+void Matrix::Axpy(const Matrix& other, double scale) {
+  SAMYA_CHECK_EQ(rows_, other.rows_);
+  SAMYA_CHECK_EQ(cols_, other.cols_);
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += scale * other.data_[i];
+}
+
+double Matrix::SquaredNorm() const {
+  double acc = 0.0;
+  for (double v : data_) acc += v * v;
+  return acc;
+}
+
+void Matrix::Scale(double s) {
+  for (double& v : data_) v *= s;
+}
+
+void AxpyV(const Vector& x, double scale, Vector& y) {
+  SAMYA_CHECK_EQ(x.size(), y.size());
+  for (size_t i = 0; i < x.size(); ++i) y[i] += scale * x[i];
+}
+
+double Dot(const Vector& a, const Vector& b) {
+  SAMYA_CHECK_EQ(a.size(), b.size());
+  double acc = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+double SquaredNormV(const Vector& v) {
+  double acc = 0.0;
+  for (double x : v) acc += x * x;
+  return acc;
+}
+
+void ScaleV(Vector& v, double s) {
+  for (double& x : v) x *= s;
+}
+
+}  // namespace samya::predict

@@ -1,0 +1,66 @@
+#ifndef SAMYA_PREDICT_MATRIX_H_
+#define SAMYA_PREDICT_MATRIX_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/random.h"
+
+namespace samya::predict {
+
+using Vector = std::vector<double>;
+
+/// \brief Minimal dense row-major matrix for the from-scratch LSTM.
+///
+/// Only the kernels the trainer needs: matrix-vector products (plain and
+/// transposed), rank-1 updates, and elementwise/axpy helpers on `Vector`.
+class Matrix {
+ public:
+  Matrix() : rows_(0), cols_(0) {}
+  Matrix(size_t rows, size_t cols) : rows_(rows), cols_(cols),
+                                     data_(rows * cols, 0.0) {}
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+
+  double& at(size_t r, size_t c) { return data_[r * cols_ + c]; }
+  double at(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+  Vector& data() { return data_; }
+  const Vector& data() const { return data_; }
+
+  /// Fills with U(-scale, scale) (Glorot-style when scale=sqrt(6/(in+out))).
+  void RandomInit(Rng& rng, double scale);
+  void Zero();
+
+  /// y += this * x  (len(x)=cols, len(y)=rows)
+  void MultiplyAdd(const Vector& x, Vector& y) const;
+
+  /// y += this^T * x  (len(x)=rows, len(y)=cols)
+  void TransposeMultiplyAdd(const Vector& x, Vector& y) const;
+
+  /// this += scale * a b^T  (len(a)=rows, len(b)=cols)
+  void AddOuter(const Vector& a, const Vector& b, double scale = 1.0);
+
+  /// this += scale * other (same shape)
+  void Axpy(const Matrix& other, double scale);
+
+  /// Sum of squared entries (for gradient-norm clipping).
+  double SquaredNorm() const;
+
+  void Scale(double s);
+
+ private:
+  size_t rows_, cols_;
+  Vector data_;
+};
+
+// Vector helpers.
+void AxpyV(const Vector& x, double scale, Vector& y);  // y += scale*x
+double Dot(const Vector& a, const Vector& b);
+double SquaredNormV(const Vector& v);
+void ScaleV(Vector& v, double s);
+
+}  // namespace samya::predict
+
+#endif  // SAMYA_PREDICT_MATRIX_H_

@@ -1,0 +1,41 @@
+#include "predict/metrics.h"
+
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace samya::predict {
+
+Split TrainTestSplit(const std::vector<double>& series,
+                     double train_fraction) {
+  SAMYA_CHECK_GT(train_fraction, 0.0);
+  SAMYA_CHECK_LT(train_fraction, 1.0);
+  const size_t cut = static_cast<size_t>(
+      static_cast<double>(series.size()) * train_fraction);
+  Split s;
+  s.train.assign(series.begin(), series.begin() + static_cast<long>(cut));
+  s.test.assign(series.begin() + static_cast<long>(cut), series.end());
+  return s;
+}
+
+Result<ForecastMetrics> EvaluateOneStepAhead(DemandPredictor& predictor,
+                                             const Split& split) {
+  SAMYA_RETURN_IF_ERROR(predictor.Train(split.train));
+  ForecastMetrics m;
+  double abs_acc = 0.0, sq_acc = 0.0;
+  for (double actual : split.test) {
+    const double pred = predictor.PredictNext();
+    const double err = pred - actual;
+    abs_acc += std::abs(err);
+    sq_acc += err * err;
+    ++m.n;
+    predictor.Observe(actual);
+  }
+  if (m.n > 0) {
+    m.mae = abs_acc / static_cast<double>(m.n);
+    m.rmse = std::sqrt(sq_acc / static_cast<double>(m.n));
+  }
+  return m;
+}
+
+}  // namespace samya::predict

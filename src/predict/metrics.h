@@ -1,0 +1,33 @@
+#ifndef SAMYA_PREDICT_METRICS_H_
+#define SAMYA_PREDICT_METRICS_H_
+
+#include <vector>
+
+#include "predict/predictor.h"
+
+namespace samya::predict {
+
+/// Train/test partition of a series (first `train_fraction` trains).
+struct Split {
+  std::vector<double> train;
+  std::vector<double> test;
+};
+
+Split TrainTestSplit(const std::vector<double>& series, double train_fraction);
+
+/// Result of a walk-forward one-step-ahead evaluation.
+struct ForecastMetrics {
+  double mae = 0.0;   ///< mean absolute error (tokens) — the Table 2a metric
+  double rmse = 0.0;
+  size_t n = 0;
+};
+
+/// Walk-forward evaluation: the predictor is trained on `split.train`, then
+/// for each test point we predict one step ahead and feed the true value via
+/// `Observe` — exactly how a Samya site consumes its Prediction Module.
+Result<ForecastMetrics> EvaluateOneStepAhead(DemandPredictor& predictor,
+                                             const Split& split);
+
+}  // namespace samya::predict
+
+#endif  // SAMYA_PREDICT_METRICS_H_

@@ -1,0 +1,113 @@
+#include "predict/optimizer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace samya::predict {
+
+NelderMeadResult NelderMead(const std::function<double(const Vector&)>& f,
+                            Vector x0, const NelderMeadOptions& opts) {
+  const size_t n = x0.size();
+  SAMYA_CHECK_GT(n, 0u);
+
+  // Standard coefficients: reflection, expansion, contraction, shrink.
+  const double alpha = 1.0, gamma = 2.0, rho = 0.5, sigma = 0.5;
+
+  // Initial simplex: x0 plus a step along each axis.
+  std::vector<Vector> xs(n + 1, x0);
+  for (size_t i = 0; i < n; ++i) {
+    xs[i + 1][i] += (x0[i] != 0.0 ? std::abs(x0[i]) * opts.initial_step
+                                  : opts.initial_step);
+  }
+  std::vector<double> fs(n + 1);
+  for (size_t i = 0; i <= n; ++i) fs[i] = f(xs[i]);
+
+  NelderMeadResult result;
+  int iter = 0;
+  for (; iter < opts.max_iterations; ++iter) {
+    // Order vertices by objective.
+    std::vector<size_t> idx(n + 1);
+    for (size_t i = 0; i <= n; ++i) idx[i] = i;
+    std::sort(idx.begin(), idx.end(),
+              [&](size_t a, size_t b) { return fs[a] < fs[b]; });
+    const size_t best = idx[0], worst = idx[n], second_worst = idx[n - 1];
+
+    if (fs[worst] - fs[best] < opts.tolerance) break;
+
+    // Centroid of all but the worst.
+    Vector centroid(n, 0.0);
+    for (size_t i = 0; i <= n; ++i) {
+      if (i == worst) continue;
+      AxpyV(xs[i], 1.0 / static_cast<double>(n), centroid);
+    }
+
+    auto blend = [&](double coeff) {
+      Vector x(n);
+      for (size_t j = 0; j < n; ++j) {
+        x[j] = centroid[j] + coeff * (xs[worst][j] - centroid[j]);
+      }
+      return x;
+    };
+
+    Vector xr = blend(-alpha);
+    const double fr = f(xr);
+    if (fr < fs[best]) {
+      Vector xe = blend(-gamma);
+      const double fe = f(xe);
+      if (fe < fr) {
+        xs[worst] = std::move(xe);
+        fs[worst] = fe;
+      } else {
+        xs[worst] = std::move(xr);
+        fs[worst] = fr;
+      }
+    } else if (fr < fs[second_worst]) {
+      xs[worst] = std::move(xr);
+      fs[worst] = fr;
+    } else {
+      Vector xc = blend(fr < fs[worst] ? -rho : rho);
+      const double fc = f(xc);
+      if (fc < std::min(fr, fs[worst])) {
+        xs[worst] = std::move(xc);
+        fs[worst] = fc;
+      } else {
+        // Shrink toward the best vertex.
+        for (size_t i = 0; i <= n; ++i) {
+          if (i == best) continue;
+          for (size_t j = 0; j < n; ++j) {
+            xs[i][j] = xs[best][j] + sigma * (xs[i][j] - xs[best][j]);
+          }
+          fs[i] = f(xs[i]);
+        }
+      }
+    }
+  }
+
+  size_t best = 0;
+  for (size_t i = 1; i <= n; ++i) {
+    if (fs[i] < fs[best]) best = i;
+  }
+  result.x = xs[best];
+  result.fx = fs[best];
+  result.iterations = iter;
+  return result;
+}
+
+void AdamState::Update(Vector& params, const Vector& grad) {
+  SAMYA_CHECK_EQ(params.size(), m_.size());
+  SAMYA_CHECK_EQ(grad.size(), m_.size());
+  ++t_;
+  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  for (size_t i = 0; i < params.size(); ++i) {
+    m_[i] = beta1_ * m_[i] + (1 - beta1_) * grad[i];
+    v_[i] = beta2_ * v_[i] + (1 - beta2_) * grad[i] * grad[i];
+    const double mhat = m_[i] / bc1;
+    const double vhat = v_[i] / bc2;
+    params[i] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+  }
+}
+
+}  // namespace samya::predict

@@ -1,0 +1,52 @@
+#ifndef SAMYA_PREDICT_OPTIMIZER_H_
+#define SAMYA_PREDICT_OPTIMIZER_H_
+
+#include <functional>
+#include <vector>
+
+#include "predict/matrix.h"
+
+namespace samya::predict {
+
+/// \brief Derivative-free Nelder–Mead simplex minimizer.
+///
+/// Used to fit the ARIMA conditional-sum-of-squares objective, whose gradient
+/// is awkward because of the recursive MA terms.
+struct NelderMeadOptions {
+  int max_iterations = 500;
+  double initial_step = 0.1;
+  double tolerance = 1e-8;  // stop when simplex f-spread falls below this
+};
+
+struct NelderMeadResult {
+  Vector x;
+  double fx = 0.0;
+  int iterations = 0;
+};
+
+NelderMeadResult NelderMead(const std::function<double(const Vector&)>& f,
+                            Vector x0, const NelderMeadOptions& opts = {});
+
+/// \brief Adam optimizer state for one parameter tensor (flat vector form).
+///
+/// The LSTM trainer keeps one `AdamState` per weight matrix/bias and calls
+/// `Update` after each gradient computation.
+class AdamState {
+ public:
+  AdamState(size_t n, double lr = 1e-3, double beta1 = 0.9,
+            double beta2 = 0.999, double eps = 1e-8)
+      : lr_(lr), beta1_(beta1), beta2_(beta2), eps_(eps),
+        m_(n, 0.0), v_(n, 0.0) {}
+
+  /// params -= adam_step(grad), updating first/second moment estimates.
+  void Update(Vector& params, const Vector& grad);
+
+ private:
+  double lr_, beta1_, beta2_, eps_;
+  int64_t t_ = 0;
+  Vector m_, v_;
+};
+
+}  // namespace samya::predict
+
+#endif  // SAMYA_PREDICT_OPTIMIZER_H_

@@ -1,0 +1,25 @@
+#include "sim/event_queue.h"
+
+#include "common/macros.h"
+
+namespace samya::sim {
+
+void EventQueue::Push(SimTime time, uint64_t seq, std::function<void()> fn) {
+  heap_.push(Event{time, seq, std::move(fn)});
+}
+
+SimTime EventQueue::NextTime() const {
+  SAMYA_CHECK(!heap_.empty());
+  return heap_.top().time;
+}
+
+Event EventQueue::Pop() {
+  SAMYA_CHECK(!heap_.empty());
+  // std::priority_queue::top() is const; the move is safe because we pop
+  // immediately after.
+  Event e = std::move(const_cast<Event&>(heap_.top()));
+  heap_.pop();
+  return e;
+}
+
+}  // namespace samya::sim

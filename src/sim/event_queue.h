@@ -1,0 +1,42 @@
+#ifndef SAMYA_SIM_EVENT_QUEUE_H_
+#define SAMYA_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/time.h"
+
+namespace samya::sim {
+
+/// A scheduled callback. Events at equal times fire in scheduling order
+/// (FIFO by sequence number), which keeps runs deterministic.
+struct Event {
+  SimTime time = 0;
+  uint64_t seq = 0;
+  std::function<void()> fn;
+};
+
+/// Min-heap of events ordered by (time, seq).
+class EventQueue {
+ public:
+  void Push(SimTime time, uint64_t seq, std::function<void()> fn);
+  bool empty() const { return heap_.empty(); }
+  size_t size() const { return heap_.size(); }
+  SimTime NextTime() const;
+  Event Pop();
+
+ private:
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+};
+
+}  // namespace samya::sim
+
+#endif  // SAMYA_SIM_EVENT_QUEUE_H_

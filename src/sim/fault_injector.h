@@ -1,0 +1,58 @@
+#ifndef SAMYA_SIM_FAULT_INJECTOR_H_
+#define SAMYA_SIM_FAULT_INJECTOR_H_
+
+#include <vector>
+
+#include "sim/network.h"
+
+namespace samya::sim {
+
+/// \brief Schedules scripted faults against a cluster's network: the crash
+/// cadence of Fig 3c, the 3-2 partition of Fig 3d, or randomized
+/// crash/recover churn for property tests.
+class FaultInjector {
+ public:
+  explicit FaultInjector(Network* net) : net_(net) {}
+
+  /// Crash node `id` at absolute simulated time `t`.
+  void CrashAt(SimTime t, NodeId id) {
+    net_->env()->ScheduleAt(t, [this, id] { net_->Crash(id); });
+  }
+
+  /// Recover node `id` at absolute simulated time `t`.
+  void RecoverAt(SimTime t, NodeId id) {
+    net_->env()->ScheduleAt(t, [this, id] { net_->Recover(id); });
+  }
+
+  /// Install a partition at time `t`.
+  void PartitionAt(SimTime t, std::vector<std::vector<NodeId>> groups) {
+    net_->env()->ScheduleAt(
+        t, [this, groups = std::move(groups)] { net_->SetPartition(groups); });
+  }
+
+  /// Heal all partitions at time `t`.
+  void HealAt(SimTime t) {
+    net_->env()->ScheduleAt(t, [this] { net_->ClearPartition(); });
+  }
+
+  /// Random crash/recover churn over [0, horizon): each listed node
+  /// independently crashes ~`crashes_per_node` times and stays down for
+  /// `downtime`. Useful for protocol property tests.
+  void RandomChurn(const std::vector<NodeId>& nodes, SimTime horizon,
+                   int crashes_per_node, Duration downtime, Rng& rng) {
+    for (NodeId id : nodes) {
+      for (int k = 0; k < crashes_per_node; ++k) {
+        const SimTime t = rng.UniformInt(0, horizon - downtime - 1);
+        CrashAt(t, id);
+        RecoverAt(t + downtime, id);
+      }
+    }
+  }
+
+ private:
+  Network* net_;
+};
+
+}  // namespace samya::sim
+
+#endif  // SAMYA_SIM_FAULT_INJECTOR_H_

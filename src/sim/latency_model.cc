@@ -1,0 +1,75 @@
+#include "sim/latency_model.h"
+
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace samya::sim {
+
+const char* RegionName(Region r) {
+  switch (r) {
+    case Region::kUsWest1:
+      return "us-west1";
+    case Region::kUsCentral1:
+      return "us-central1";
+    case Region::kUsEast1:
+      return "us-east1";
+    case Region::kEuropeWest2:
+      return "europe-west2";
+    case Region::kAsiaEast2:
+      return "asia-east2";
+    case Region::kAustraliaSoutheast1:
+      return "australia-southeast1";
+    case Region::kSouthAmericaEast1:
+      return "southamerica-east1";
+  }
+  return "?";
+}
+
+namespace {
+
+// One-way latencies in milliseconds, approximately half of publicly measured
+// GCP inter-region RTTs. Symmetric; diagonal is intra-region.
+constexpr double kOneWayMs[kNumRegions][kNumRegions] = {
+    //           usw1   usc1   use1   euw2  asia2   aus1   sa1
+    /*usw1*/ {   0.3,  17.0,  30.0,  65.0,  75.0,  70.0,  95.0},
+    /*usc1*/ {  17.0,   0.3,  15.0,  50.0,  85.0,  88.0,  73.0},
+    /*use1*/ {  30.0,  15.0,   0.3,  40.0, 100.0, 100.0,  60.0},
+    /*euw2*/ {  65.0,  50.0,  40.0,   0.3, 125.0, 132.0, 100.0},
+    /*asia2*/{  75.0,  85.0, 100.0, 125.0,   0.3,  65.0, 150.0},
+    /*aus1*/ {  70.0,  88.0, 100.0, 132.0,  65.0,   0.3, 150.0},
+    /*sa1*/  {  95.0,  73.0,  60.0, 100.0, 150.0, 150.0,   0.3},
+};
+
+}  // namespace
+
+LatencyModel::LatencyModel() {
+  for (int i = 0; i < kNumRegions; ++i) {
+    for (int j = 0; j < kNumRegions; ++j) {
+      base_[i][j] = static_cast<Duration>(kOneWayMs[i][j] * kMillisecond);
+      SAMYA_CHECK_EQ(kOneWayMs[i][j], kOneWayMs[j][i]);
+    }
+  }
+}
+
+Duration LatencyModel::Base(Region from, Region to) const {
+  return base_[static_cast<int>(from)][static_cast<int>(to)];
+}
+
+Duration LatencyModel::Sample(Region from, Region to, Rng& rng) const {
+  const Duration base = Base(from, to);
+  Duration jitter = 0;
+  if (jitter_fraction_ > 0) {
+    jitter = static_cast<Duration>(static_cast<double>(base) *
+                                   jitter_fraction_ *
+                                   std::abs(rng.NextGaussian()));
+  }
+  Duration tail = 0;
+  if (tail_mean_ > 0) {
+    tail = static_cast<Duration>(
+        rng.Exponential(static_cast<double>(tail_mean_)));
+  }
+  return base + jitter + tail;
+}
+
+}  // namespace samya::sim

@@ -1,0 +1,129 @@
+#include "sim/network.h"
+
+#include "common/logging.h"
+#include "common/macros.h"
+
+namespace samya::sim {
+
+Network::Network(SimEnvironment* env, LatencyModel model)
+    : env_(env), model_(model), rng_(env->rng().Fork(0x6e657477)) {}
+
+void Network::Register(Node* node) {
+  SAMYA_CHECK_EQ(node->id(), static_cast<NodeId>(nodes_.size()));
+  node->network_ = this;
+  node->rng_ = rng_.Fork(0x6e6f6465 + static_cast<uint64_t>(node->id()));
+  nodes_.push_back(node);
+  partition_group_.push_back(0);
+}
+
+Node* Network::node(NodeId id) const {
+  SAMYA_CHECK_GE(id, 0);
+  SAMYA_CHECK_LT(static_cast<size_t>(id), nodes_.size());
+  return nodes_[static_cast<size_t>(id)];
+}
+
+bool Network::IsAlive(NodeId id) const { return node(id)->alive(); }
+
+bool Network::CanCommunicate(NodeId a, NodeId b) const {
+  if (!partitioned_) return true;
+  return partition_group_[static_cast<size_t>(a)] ==
+         partition_group_[static_cast<size_t>(b)];
+}
+
+void Network::Send(NodeId from, NodeId to, uint32_t type,
+                   std::vector<uint8_t> payload) {
+  Node* sender = node(from);
+  Node* receiver = node(to);
+  if (!sender->alive()) return;  // a crashed node sends nothing
+  ++stats_.messages_sent;
+  stats_.bytes_sent += payload.size();
+
+  if (partitioned_ && !CanCommunicate(from, to)) {
+    ++stats_.messages_dropped_partition;
+    if (tap_) tap_(env_->Now(), from, to, type, payload.size(), false);
+    return;
+  }
+  if (loss_rate_ > 0 && rng_.Bernoulli(loss_rate_)) {
+    ++stats_.messages_dropped_loss;
+    if (tap_) tap_(env_->Now(), from, to, type, payload.size(), false);
+    return;
+  }
+  if (tap_) tap_(env_->Now(), from, to, type, payload.size(), true);
+
+  const Duration latency =
+      model_.Sample(sender->region(), receiver->region(), rng_);
+  env_->Schedule(latency, [this, from, to, type,
+                           payload = std::move(payload)]() {
+    Node* recv = node(to);
+    if (!recv->alive()) {
+      ++stats_.messages_dropped_crashed;
+      return;
+    }
+    // A partition that formed while the message was in flight also cuts it.
+    if (partitioned_ && !CanCommunicate(from, to)) {
+      ++stats_.messages_dropped_partition;
+      return;
+    }
+    ++stats_.messages_delivered;
+    BufferReader reader(payload);
+    recv->HandleMessage(from, type, reader);
+  });
+}
+
+void Network::Crash(NodeId id) {
+  Node* n = node(id);
+  if (!n->alive()) return;
+  SAMYA_LOG_INFO("t=%s node %d (%s) CRASHED", FormatDuration(env_->Now()).c_str(),
+                 id, RegionName(n->region()));
+  n->alive_ = false;
+  ++n->epoch_;
+  n->active_timers_.clear();
+  n->HandleCrash();
+}
+
+void Network::Recover(NodeId id) {
+  Node* n = node(id);
+  if (n->alive()) return;
+  SAMYA_LOG_INFO("t=%s node %d (%s) RECOVERED",
+                 FormatDuration(env_->Now()).c_str(), id,
+                 RegionName(n->region()));
+  n->alive_ = true;
+  ++n->epoch_;
+  n->HandleRecover();
+}
+
+void Network::SetPartition(const std::vector<std::vector<NodeId>>& groups) {
+  partitioned_ = true;
+  std::fill(partition_group_.begin(), partition_group_.end(),
+            static_cast<int>(groups.size()));
+  for (size_t g = 0; g < groups.size(); ++g) {
+    for (NodeId id : groups[g]) {
+      SAMYA_CHECK_GE(id, 0);
+      SAMYA_CHECK_LT(static_cast<size_t>(id), partition_group_.size());
+      partition_group_[static_cast<size_t>(id)] = static_cast<int>(g);
+    }
+  }
+  SAMYA_LOG_INFO("t=%s network partitioned into %zu group(s)",
+                 FormatDuration(env_->Now()).c_str(), groups.size());
+}
+
+void Network::ClearPartition() {
+  partitioned_ = false;
+  SAMYA_LOG_INFO("t=%s network partition healed",
+                 FormatDuration(env_->Now()).c_str());
+}
+
+uint64_t Network::ArmTimer(Node* n, Duration delay, uint64_t token) {
+  const uint64_t timer_id = n->next_timer_id_++;
+  n->active_timers_.insert(timer_id);
+  const uint64_t epoch = n->epoch_;
+  env_->Schedule(delay, [n, timer_id, token, epoch]() {
+    if (!n->alive()) return;
+    if (n->epoch_ != epoch) return;  // node crashed/recovered since arming
+    if (n->active_timers_.erase(timer_id) == 0) return;  // cancelled
+    n->HandleTimer(token);
+  });
+  return timer_id;
+}
+
+}  // namespace samya::sim

@@ -1,0 +1,97 @@
+#ifndef SAMYA_SIM_NETWORK_H_
+#define SAMYA_SIM_NETWORK_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/environment.h"
+#include "sim/latency_model.h"
+#include "sim/node.h"
+
+namespace samya::sim {
+
+/// Observation hook: called for every message send attempt. `delivered` is
+/// false when the message was dropped at send time (loss/partition); drops
+/// at delivery time (crashed receiver) are not re-reported.
+using MessageTap = std::function<void(SimTime at, NodeId from, NodeId to,
+                                      uint32_t type, size_t bytes,
+                                      bool delivered)>;
+
+/// Counters exposed for tests and experiment reports.
+struct NetworkStats {
+  uint64_t messages_sent = 0;
+  uint64_t messages_delivered = 0;
+  uint64_t messages_dropped_loss = 0;
+  uint64_t messages_dropped_partition = 0;
+  uint64_t messages_dropped_crashed = 0;
+  uint64_t bytes_sent = 0;
+};
+
+/// \brief Simulated asynchronous geo-distributed network (§3.1's model:
+/// messages may be delayed, dropped, or reordered; crash faults; partitions).
+///
+/// Messages are byte buffers; delivery latency is drawn from the
+/// `LatencyModel` for the sender/receiver region pair. Partition groups cut
+/// all communication between groups. Loss is Bernoulli per message.
+class Network {
+ public:
+  Network(SimEnvironment* env, LatencyModel model);
+
+  /// Registers a node; the node's id must equal its registration order.
+  void Register(Node* node);
+
+  /// Sends an encoded message. Called via Node::Send.
+  void Send(NodeId from, NodeId to, uint32_t type,
+            std::vector<uint8_t> payload);
+
+  /// Crashes a node: invalidates its timers, runs HandleCrash, and drops all
+  /// of its future deliveries until recovery.
+  void Crash(NodeId id);
+
+  /// Recovers a crashed node (runs HandleRecover).
+  void Recover(NodeId id);
+
+  /// Installs a partition: nodes in different groups cannot communicate.
+  /// Nodes absent from every group land in an implicit final group together.
+  void SetPartition(const std::vector<std::vector<NodeId>>& groups);
+
+  /// Heals any partition.
+  void ClearPartition();
+
+  bool Partitioned() const { return partitioned_; }
+  bool CanCommunicate(NodeId a, NodeId b) const;
+
+  /// Probability in [0,1] that any given message is silently lost.
+  void set_loss_rate(double p) { loss_rate_ = p; }
+  double loss_rate() const { return loss_rate_; }
+
+  Node* node(NodeId id) const;
+  size_t num_nodes() const { return nodes_.size(); }
+  bool IsAlive(NodeId id) const;
+
+  SimEnvironment* env() { return env_; }
+  LatencyModel* latency_model() { return &model_; }
+  const NetworkStats& stats() const { return stats_; }
+
+  /// Installs a message tap (analysis/debugging; pass nullptr to remove).
+  void set_message_tap(MessageTap tap) { tap_ = std::move(tap); }
+
+  // Internal: used by Node to arm timers on the shared event loop.
+  uint64_t ArmTimer(Node* node, Duration delay, uint64_t token);
+
+ private:
+  SimEnvironment* env_;
+  LatencyModel model_;
+  std::vector<Node*> nodes_;
+  std::vector<int> partition_group_;  // per node; meaningful iff partitioned_
+  bool partitioned_ = false;
+  double loss_rate_ = 0.0;
+  Rng rng_;
+  NetworkStats stats_;
+  MessageTap tap_;
+};
+
+}  // namespace samya::sim
+
+#endif  // SAMYA_SIM_NETWORK_H_

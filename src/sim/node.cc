@@ -1,0 +1,30 @@
+#include "sim/node.h"
+
+#include "common/macros.h"
+#include "sim/network.h"
+
+namespace samya::sim {
+
+void Node::HandleTimer(uint64_t token) {
+  (void)token;
+  SAMYA_CHECK_MSG(false, "node %d received unexpected timer", id_);
+}
+
+void Node::Send(NodeId to, uint32_t type, const BufferWriter& payload) {
+  SAMYA_CHECK(network_ != nullptr);
+  network_->Send(id_, to, type, payload.buffer());
+}
+
+uint64_t Node::SetTimer(Duration delay, uint64_t token) {
+  SAMYA_CHECK(network_ != nullptr);
+  return network_->ArmTimer(this, delay, token);
+}
+
+void Node::CancelTimer(uint64_t timer_id) { active_timers_.erase(timer_id); }
+
+SimTime Node::Now() const {
+  SAMYA_CHECK(network_ != nullptr);
+  return network_->env()->Now();
+}
+
+}  // namespace samya::sim

@@ -1,0 +1,90 @@
+#ifndef SAMYA_SIM_NODE_H_
+#define SAMYA_SIM_NODE_H_
+
+#include <cstdint>
+#include <unordered_set>
+
+#include "common/codec.h"
+#include "common/random.h"
+#include "common/time.h"
+#include "sim/latency_model.h"
+
+namespace samya::sim {
+
+class Network;
+
+/// Identifies a process (site, app manager, client, replica) in a cluster.
+using NodeId = int32_t;
+inline constexpr NodeId kInvalidNode = -1;
+
+/// \brief Base class for every simulated process.
+///
+/// Subclasses implement message and timer handlers; the base provides the
+/// runtime: `Send` (bytes over the simulated network), `SetTimer` /
+/// `CancelTimer`, `Now`, and a per-node RNG stream.
+///
+/// Crash semantics: when the network crashes a node, all pending timers are
+/// invalidated (an epoch counter guards stragglers), in-flight messages to it
+/// are dropped at delivery, and `HandleCrash` runs so the subclass can clear
+/// volatile state. On recovery `HandleRecover` runs; subclasses reload
+/// durable state from their `StableStorage` there.
+class Node {
+ public:
+  Node(NodeId id, Region region) : id_(id), region_(region) {}
+  virtual ~Node() = default;
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  NodeId id() const { return id_; }
+  Region region() const { return region_; }
+  bool alive() const { return alive_; }
+
+  /// Called once by the cluster after all nodes are registered.
+  virtual void Start() {}
+
+  /// Delivers a decoded message envelope. `reader` is positioned at the
+  /// start of the type-specific payload.
+  virtual void HandleMessage(NodeId from, uint32_t type,
+                             BufferReader& reader) = 0;
+
+  /// Fires for a timer armed with `SetTimer(delay, token)`.
+  virtual void HandleTimer(uint64_t token);
+
+  /// Node crashed: drop volatile state. Durable state survives in storage.
+  virtual void HandleCrash() {}
+
+  /// Node recovered: reconstruct state from stable storage, re-arm timers.
+  virtual void HandleRecover() {}
+
+ protected:
+  /// Sends `payload` to `to`; delivery is scheduled by the network with
+  /// geo latency, jitter, loss and partition rules applied.
+  void Send(NodeId to, uint32_t type, const BufferWriter& payload);
+
+  /// Arms a timer; `HandleTimer(token)` fires after `delay` unless the timer
+  /// is cancelled or the node crashes first. Returns an id for cancellation.
+  uint64_t SetTimer(Duration delay, uint64_t token);
+  void CancelTimer(uint64_t timer_id);
+
+  SimTime Now() const;
+  Rng& rng() { return rng_; }
+  Network* network() { return network_; }
+
+ private:
+  friend class Network;
+  friend class Cluster;
+
+  NodeId id_;
+  Region region_;
+  bool alive_ = true;
+  uint64_t epoch_ = 0;  // bumped on crash & recover to kill stale timers
+  uint64_t next_timer_id_ = 1;
+  std::unordered_set<uint64_t> active_timers_;
+  Network* network_ = nullptr;
+  Rng rng_{0};
+};
+
+}  // namespace samya::sim
+
+#endif  // SAMYA_SIM_NODE_H_

@@ -1,0 +1,136 @@
+#include "storage/stable_storage.h"
+
+#include "common/codec.h"
+#include "common/macros.h"
+#include "storage/wal.h"
+
+namespace samya::storage {
+
+namespace {
+constexpr uint8_t kOpPut = 1;
+constexpr uint8_t kOpDelete = 2;
+}  // namespace
+
+Status StableStorage::PutString(const std::string& key,
+                                const std::string& value) {
+  return Put(key, std::vector<uint8_t>(value.begin(), value.end()));
+}
+
+Result<std::string> StableStorage::GetString(const std::string& key) const {
+  SAMYA_ASSIGN_OR_RETURN(std::vector<uint8_t> v, Get(key));
+  return std::string(v.begin(), v.end());
+}
+
+Status InMemoryStableStorage::Put(const std::string& key,
+                                  const std::vector<uint8_t>& value) {
+  map_[key] = value;
+  return Status::OK();
+}
+
+Result<std::vector<uint8_t>> InMemoryStableStorage::Get(
+    const std::string& key) const {
+  auto it = map_.find(key);
+  if (it == map_.end()) return Status::NotFound(key);
+  return it->second;
+}
+
+Status InMemoryStableStorage::Delete(const std::string& key) {
+  map_.erase(key);
+  return Status::OK();
+}
+
+std::vector<std::string> InMemoryStableStorage::Keys() const {
+  std::vector<std::string> keys;
+  keys.reserve(map_.size());
+  for (const auto& [k, _] : map_) keys.push_back(k);
+  return keys;
+}
+
+Result<std::unique_ptr<FileStableStorage>> FileStableStorage::Open(
+    const std::string& path, size_t compaction_threshold) {
+  std::unique_ptr<FileStableStorage> store(
+      new FileStableStorage(path, compaction_threshold));
+  SAMYA_ASSIGN_OR_RETURN(auto records, WriteAheadLog::ReadAll(path));
+  for (const auto& rec : records) {
+    BufferReader r(rec);
+    SAMYA_ASSIGN_OR_RETURN(uint8_t op, r.GetU8());
+    SAMYA_ASSIGN_OR_RETURN(std::string key, r.GetString());
+    if (op == kOpPut) {
+      SAMYA_ASSIGN_OR_RETURN(std::string val, r.GetString());
+      store->map_[key] = std::vector<uint8_t>(val.begin(), val.end());
+    } else if (op == kOpDelete) {
+      store->map_.erase(key);
+    } else {
+      return Status::Corruption("stable storage: unknown op");
+    }
+  }
+  store->log_records_ = records.size();
+  SAMYA_ASSIGN_OR_RETURN(store->wal_, WriteAheadLog::Open(path));
+  return store;
+}
+
+FileStableStorage::~FileStableStorage() = default;
+
+Status FileStableStorage::AppendOp(uint8_t op, const std::string& key,
+                                   const std::vector<uint8_t>& value) {
+  BufferWriter w;
+  w.PutU8(op);
+  w.PutString(key);
+  if (op == kOpPut) {
+    w.PutString(std::string(value.begin(), value.end()));
+  }
+  SAMYA_RETURN_IF_ERROR(wal_->Append(w.buffer()));
+  SAMYA_RETURN_IF_ERROR(wal_->Sync());
+  ++log_records_;
+  return MaybeCompact();
+}
+
+Status FileStableStorage::MaybeCompact() {
+  if (log_records_ <= compaction_threshold_ ||
+      log_records_ <= 2 * map_.size()) {
+    return Status::OK();
+  }
+  std::vector<std::vector<uint8_t>> records;
+  records.reserve(map_.size());
+  for (const auto& [k, v] : map_) {
+    BufferWriter w;
+    w.PutU8(kOpPut);
+    w.PutString(k);
+    w.PutString(std::string(v.begin(), v.end()));
+    records.push_back(w.Release());
+  }
+  wal_.reset();  // close before rewrite
+  SAMYA_RETURN_IF_ERROR(WriteAheadLog::Rewrite(path_, records));
+  SAMYA_ASSIGN_OR_RETURN(wal_, WriteAheadLog::Open(path_));
+  log_records_ = records.size();
+  return Status::OK();
+}
+
+Status FileStableStorage::Put(const std::string& key,
+                              const std::vector<uint8_t>& value) {
+  SAMYA_RETURN_IF_ERROR(AppendOp(kOpPut, key, value));
+  map_[key] = value;
+  return Status::OK();
+}
+
+Result<std::vector<uint8_t>> FileStableStorage::Get(
+    const std::string& key) const {
+  auto it = map_.find(key);
+  if (it == map_.end()) return Status::NotFound(key);
+  return it->second;
+}
+
+Status FileStableStorage::Delete(const std::string& key) {
+  SAMYA_RETURN_IF_ERROR(AppendOp(kOpDelete, key, {}));
+  map_.erase(key);
+  return Status::OK();
+}
+
+std::vector<std::string> FileStableStorage::Keys() const {
+  std::vector<std::string> keys;
+  keys.reserve(map_.size());
+  for (const auto& [k, _] : map_) keys.push_back(k);
+  return keys;
+}
+
+}  // namespace samya::storage

@@ -1,0 +1,82 @@
+#ifndef SAMYA_STORAGE_STABLE_STORAGE_H_
+#define SAMYA_STORAGE_STABLE_STORAGE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/wal.h"
+
+namespace samya::storage {
+
+/// \brief Durable key-value store a node uses to survive crashes.
+///
+/// Per §3.1 of the paper, "when a crashed site recovers, it reconstructs its
+/// previous state (typically stored on stable storage)". Sites persist their
+/// token state and Avantan protocol variables (BallotNum, AcceptVal,
+/// AcceptNum, Decision) here, and reload them in `HandleRecover`.
+class StableStorage {
+ public:
+  virtual ~StableStorage() = default;
+
+  virtual Status Put(const std::string& key,
+                     const std::vector<uint8_t>& value) = 0;
+  /// Returns kNotFound for absent keys.
+  virtual Result<std::vector<uint8_t>> Get(const std::string& key) const = 0;
+  virtual Status Delete(const std::string& key) = 0;
+  virtual std::vector<std::string> Keys() const = 0;
+
+  // Convenience wrappers for string values.
+  Status PutString(const std::string& key, const std::string& value);
+  Result<std::string> GetString(const std::string& key) const;
+};
+
+/// In-memory implementation. "Durability" in simulation means the map is
+/// owned by the cluster, not the node object, so a crash/recover cycle of the
+/// node leaves it intact.
+class InMemoryStableStorage : public StableStorage {
+ public:
+  Status Put(const std::string& key, const std::vector<uint8_t>& value) override;
+  Result<std::vector<uint8_t>> Get(const std::string& key) const override;
+  Status Delete(const std::string& key) override;
+  std::vector<std::string> Keys() const override;
+
+  size_t size() const { return map_.size(); }
+
+ private:
+  std::map<std::string, std::vector<uint8_t>> map_;
+};
+
+/// File-backed implementation: a WAL of Put/Delete records replayed at open,
+/// compacted when the log grows past `compaction_threshold` records.
+class FileStableStorage : public StableStorage {
+ public:
+  static Result<std::unique_ptr<FileStableStorage>> Open(
+      const std::string& path, size_t compaction_threshold = 1024);
+  ~FileStableStorage() override;
+
+  Status Put(const std::string& key, const std::vector<uint8_t>& value) override;
+  Result<std::vector<uint8_t>> Get(const std::string& key) const override;
+  Status Delete(const std::string& key) override;
+  std::vector<std::string> Keys() const override;
+
+ private:
+  FileStableStorage(std::string path, size_t threshold)
+      : path_(std::move(path)), compaction_threshold_(threshold) {}
+
+  Status AppendOp(uint8_t op, const std::string& key,
+                  const std::vector<uint8_t>& value);
+  Status MaybeCompact();
+
+  std::string path_;
+  size_t compaction_threshold_;
+  size_t log_records_ = 0;
+  std::unique_ptr<WriteAheadLog> wal_;
+  std::map<std::string, std::vector<uint8_t>> map_;
+};
+
+}  // namespace samya::storage
+
+#endif  // SAMYA_STORAGE_STABLE_STORAGE_H_

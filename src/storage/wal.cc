@@ -1,0 +1,110 @@
+#include "storage/wal.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/codec.h"
+#include "common/crc32.h"
+#include "common/macros.h"
+
+namespace samya::storage {
+
+namespace {
+
+Status WriteRecord(std::FILE* f, const std::vector<uint8_t>& record) {
+  BufferWriter header;
+  header.PutU32(MaskCrc(Crc32c(record)));
+  header.PutU32(static_cast<uint32_t>(record.size()));
+  if (std::fwrite(header.buffer().data(), 1, header.size(), f) !=
+      header.size()) {
+    return Status::Corruption("wal: short header write");
+  }
+  if (!record.empty() &&
+      std::fwrite(record.data(), 1, record.size(), f) != record.size()) {
+    return Status::Corruption("wal: short payload write");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::unique_ptr<WriteAheadLog>> WriteAheadLog::Open(
+    const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "ab");
+  if (f == nullptr) {
+    return Status::Corruption("wal: cannot open " + path + ": " +
+                              std::strerror(errno));
+  }
+  return std::unique_ptr<WriteAheadLog>(new WriteAheadLog(path, f));
+}
+
+WriteAheadLog::~WriteAheadLog() {
+  if (f_ != nullptr) std::fclose(f_);
+}
+
+Status WriteAheadLog::Append(const std::vector<uint8_t>& record) {
+  return WriteRecord(f_, record);
+}
+
+Status WriteAheadLog::Sync() {
+  if (std::fflush(f_) != 0) return Status::Corruption("wal: fflush failed");
+  return Status::OK();
+}
+
+Result<std::vector<std::vector<uint8_t>>> WriteAheadLog::ReadAll(
+    const std::string& path, size_t* discarded_bytes) {
+  if (discarded_bytes != nullptr) *discarded_bytes = 0;
+  std::vector<std::vector<uint8_t>> records;
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return records;  // no log yet: empty state
+
+  // Read the whole file, then scan records; logs here are small (protocol
+  // state), so this is simpler and safer than streaming.
+  std::vector<uint8_t> data;
+  uint8_t chunk[4096];
+  size_t n = 0;
+  while ((n = std::fread(chunk, 1, sizeof(chunk), f)) > 0) {
+    data.insert(data.end(), chunk, chunk + n);
+  }
+  std::fclose(f);
+
+  size_t pos = 0;
+  while (pos + 8 <= data.size()) {
+    BufferReader header(data.data() + pos, 8);
+    const uint32_t masked = header.GetU32().value();
+    const uint32_t len = header.GetU32().value();
+    if (pos + 8 + len > data.size()) break;  // torn tail
+    std::vector<uint8_t> payload(data.begin() + pos + 8,
+                                 data.begin() + pos + 8 + len);
+    if (UnmaskCrc(masked) != Crc32c(payload)) break;  // corrupt tail
+    records.push_back(std::move(payload));
+    pos += 8 + len;
+  }
+  if (discarded_bytes != nullptr) *discarded_bytes = data.size() - pos;
+  return records;
+}
+
+Status WriteAheadLog::Rewrite(const std::string& path,
+                              const std::vector<std::vector<uint8_t>>& records) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) return Status::Corruption("wal: cannot open " + tmp);
+  for (const auto& r : records) {
+    Status s = WriteRecord(f, r);
+    if (!s.ok()) {
+      std::fclose(f);
+      std::remove(tmp.c_str());
+      return s;
+    }
+  }
+  if (std::fflush(f) != 0 || std::fclose(f) != 0) {
+    std::remove(tmp.c_str());
+    return Status::Corruption("wal: rewrite flush failed");
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Status::Corruption("wal: rename failed");
+  }
+  return Status::OK();
+}
+
+}  // namespace samya::storage

@@ -1,0 +1,59 @@
+#ifndef SAMYA_STORAGE_WAL_H_
+#define SAMYA_STORAGE_WAL_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace samya::storage {
+
+/// \brief Append-only write-ahead log with per-record CRC-32C integrity.
+///
+/// Record layout on disk:
+///   [u32 masked_crc32c(payload)] [u32 payload_len] [payload bytes]
+///
+/// `ReadAll` replays every intact record and stops at the first torn or
+/// corrupt record (a crashed writer's partial tail), reporting how many bytes
+/// were discarded — the standard RocksDB/LevelDB recovery contract.
+class WriteAheadLog {
+ public:
+  /// Opens (creating if absent) the log at `path` for appending.
+  static Result<std::unique_ptr<WriteAheadLog>> Open(const std::string& path);
+
+  ~WriteAheadLog();
+  WriteAheadLog(const WriteAheadLog&) = delete;
+  WriteAheadLog& operator=(const WriteAheadLog&) = delete;
+
+  /// Appends one record (buffered; call Sync to flush).
+  Status Append(const std::vector<uint8_t>& record);
+
+  /// Flushes buffered appends to the OS.
+  Status Sync();
+
+  const std::string& path() const { return path_; }
+
+  /// Replays all intact records of the log at `path`. A missing file yields
+  /// an empty record list. If a torn/corrupt tail was discarded,
+  /// `*discarded_bytes` (optional) is set to its length.
+  static Result<std::vector<std::vector<uint8_t>>> ReadAll(
+      const std::string& path, size_t* discarded_bytes = nullptr);
+
+  /// Atomically replaces the log contents with the given records (used for
+  /// compaction: write snapshot records, drop the old tail).
+  static Status Rewrite(const std::string& path,
+                        const std::vector<std::vector<uint8_t>>& records);
+
+ private:
+  WriteAheadLog(std::string path, std::FILE* f)
+      : path_(std::move(path)), f_(f) {}
+
+  std::string path_;
+  std::FILE* f_;
+};
+
+}  // namespace samya::storage
+
+#endif  // SAMYA_STORAGE_WAL_H_

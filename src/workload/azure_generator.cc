@@ -1,0 +1,97 @@
+#include "workload/azure_generator.h"
+
+#include <cmath>
+
+#include "common/macros.h"
+#include "common/random.h"
+
+namespace samya::workload {
+
+DemandTrace GenerateAzureTrace(const AzureTraceOptions& opts) {
+  SAMYA_CHECK_GT(opts.days, 0);
+  SAMYA_CHECK_GT(opts.interval, 0);
+  Rng rng(opts.seed);
+  Rng lifetime_rng = rng.Fork(1);
+
+  const int per_day =
+      static_cast<int>(Minutes(60) * 24 / opts.interval);
+  const size_t n = static_cast<size_t>(opts.days * per_day);
+
+  std::vector<DemandInterval> data(n);
+  // Deletions are scheduled into future buckets when their VM is created.
+  std::vector<int64_t> pending_deletions(n + 1024, 0);
+
+  int burst_remaining = 0;
+  double burst_multiplier = 1.0;
+  double log_noise = 0.0;  // AR(1) state, stationary std = noise_sigma
+
+  for (size_t t = 0; t < n; ++t) {
+    const double day_frac =
+        static_cast<double>(t % static_cast<size_t>(per_day)) /
+        static_cast<double>(per_day);
+    const int day = static_cast<int>(t / static_cast<size_t>(per_day));
+
+    // Diurnal curve peaking mid-workday (~14:00), with a secondary evening
+    // shoulder; always positive.
+    const double diurnal =
+        1.0 + opts.diurnal_strength *
+                  (0.8 * std::sin(2 * M_PI * (day_frac - 0.33)) +
+                   0.2 * std::sin(4 * M_PI * (day_frac - 0.25)));
+    // Weekly pattern: days 5,6 of each week are weekends.
+    const bool weekend = (day % 7) >= 5;
+    const double weekly = weekend ? opts.weekend_factor : 1.0;
+
+    // Bursts: rare sustained spikes (deploy storms, batch jobs) with a
+    // Pareto-tailed height, so a month of data contains a handful of
+    // >10x spikes and the occasional near-max_rate one (§5.9's max 16000).
+    if (burst_remaining > 0) {
+      --burst_remaining;
+    } else if (rng.Bernoulli(opts.burst_probability)) {
+      burst_remaining = opts.burst_duration_intervals;
+      double u = rng.NextDouble();
+      if (u < 1e-9) u = 1e-9;
+      burst_multiplier =
+          1.0 + opts.burst_pareto_scale *
+                    std::pow(u, -1.0 / opts.burst_pareto_alpha);
+    }
+    const double burst = burst_remaining > 0 ? burst_multiplier : 1.0;
+
+    // AR(1) lognormal noise with stationary standard deviation noise_sigma;
+    // the -sigma^2/2 correction keeps the multiplicative mean at 1.
+    log_noise = opts.noise_rho * log_noise +
+                opts.noise_sigma *
+                    std::sqrt(1 - opts.noise_rho * opts.noise_rho) *
+                    rng.NextGaussian();
+    const double noise =
+        std::exp(log_noise - 0.5 * opts.noise_sigma * opts.noise_sigma);
+
+    // Transient one-interval spikes, independent across intervals.
+    double spike = 1.0;
+    if (opts.spike_probability > 0 && rng.Bernoulli(opts.spike_probability)) {
+      spike = 1.0 + rng.Exponential(opts.spike_mean_extra);
+    }
+
+    const double rate = std::min(
+        opts.max_rate,
+        std::max(0.0, opts.mean_rate * diurnal * weekly * burst * noise *
+                          spike));
+    const int64_t creations = rng.Poisson(rate);
+    data[t].creations = creations;
+
+    // Schedule this interval's VMs for deletion after their lifetimes.
+    for (int64_t k = 0; k < creations; ++k) {
+      const double life =
+          lifetime_rng.Exponential(opts.mean_lifetime_intervals);
+      size_t expiry = t + 1 + static_cast<size_t>(life);
+      if (expiry >= pending_deletions.size()) {
+        expiry = pending_deletions.size() - 1;
+      }
+      ++pending_deletions[expiry];
+    }
+    data[t].deletions = pending_deletions[t];
+  }
+
+  return DemandTrace(opts.interval, std::move(data));
+}
+
+}  // namespace samya::workload

@@ -1,0 +1,54 @@
+#ifndef SAMYA_WORKLOAD_AZURE_GENERATOR_H_
+#define SAMYA_WORKLOAD_AZURE_GENERATOR_H_
+
+#include <cstdint>
+
+#include "workload/trace.h"
+
+namespace samya::workload {
+
+/// \brief Parameters of the synthetic Azure-like VM workload (substitute for
+/// the proprietary Azure Public Dataset; see DESIGN.md §1).
+///
+/// Cortez et al. (SOSP'17) report that Azure VM arrivals are strongly
+/// diurnal and weekly-periodic with bursty spikes — "history is an accurate
+/// predictor of future behavior". The generator reproduces those properties:
+///   rate_t = mean_rate * diurnal(t) * weekly(t) * lognormal-noise * burst
+///   creations_t ~ Poisson(rate_t)
+/// Deletions follow creations through per-VM lifetimes so the alive-VM pool
+/// (i.e. outstanding acquired tokens) stays bounded, as in the paper where
+/// M_e = 5000 caps the global pool. Defaults are calibrated to the demand
+/// statistics the paper quotes: mean demand ~600 tokens per interval, max
+/// ~16000 (§5.9), ~820k transactions in the compressed hour (§5.3).
+struct AzureTraceOptions {
+  int days = 30;                       ///< paper: one month of data
+  Duration interval = Minutes(5);      ///< paper: 5-minute sampling
+  double mean_rate = 100.0;            ///< mean creations per interval
+  double diurnal_strength = 0.8;      ///< 0 = flat, 1 = full day/night swing
+  double weekend_factor = 0.5;         ///< weekend demand multiplier
+  double noise_sigma = 0.45;           ///< lognormal noise on the rate
+  /// AR(1) persistence of the (log) noise: cloud demand fluctuations are
+  /// sticky over adjacent intervals (Cortez et al.), which is exactly what
+  /// separates ARIMA from a random walk in Table 2a.
+  double noise_rho = 0.55;
+  /// Single-interval demand spikes (short deployment jobs): probability per
+  /// interval and mean extra multiplier. These mean-revert immediately,
+  /// which is what makes a random-walk forecaster pay twice per spike
+  /// (Table 2a's RW column).
+  double spike_probability = 0.10;
+  double spike_mean_extra = 3.0;
+  double burst_probability = 0.001;   ///< chance an interval starts a burst
+  double burst_pareto_scale = 25.0;     ///< burst multiplier = 1 + Pareto(scale, alpha)
+  double burst_pareto_alpha = 1.2;     ///< heavy tail: rare near-16k spikes
+  int burst_duration_intervals = 3;    ///< how long a burst lasts
+  double max_rate = 16000.0;           ///< demand cap (paper max demand, §5.9)
+  double mean_lifetime_intervals = 5.0;///< VM lifetime (drives deletions)
+  uint64_t seed = 42;
+};
+
+/// Generates the synthetic trace. Deterministic given `opts.seed`.
+DemandTrace GenerateAzureTrace(const AzureTraceOptions& opts = {});
+
+}  // namespace samya::workload
+
+#endif  // SAMYA_WORKLOAD_AZURE_GENERATOR_H_

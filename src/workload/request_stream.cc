@@ -1,0 +1,45 @@
+#include "workload/request_stream.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace samya::workload {
+
+std::vector<Request> GenerateRequests(const DemandTrace& trace,
+                                      const RequestStreamOptions& opts) {
+  SAMYA_CHECK_GE(opts.read_ratio, 0.0);
+  SAMYA_CHECK_LT(opts.read_ratio, 1.0);
+  Rng rng(opts.seed);
+
+  std::vector<Request> out;
+  const Duration iv = trace.interval();
+  for (size_t i = 0; i < trace.size(); ++i) {
+    const SimTime start = static_cast<SimTime>(i) * iv;
+    if (opts.horizon > 0 && start >= opts.horizon) break;
+    auto emit = [&](Request::Type type, int64_t count) {
+      for (int64_t k = 0; k < count; ++k) {
+        Request r;
+        r.at = start + rng.UniformInt(0, iv - 1);
+        r.type = type;
+        r.amount = 1;
+        if (opts.horizon > 0 && r.at >= opts.horizon) continue;
+        out.push_back(r);
+      }
+    };
+    emit(Request::Type::kAcquire, trace.at(i).creations);
+    emit(Request::Type::kRelease, trace.at(i).deletions);
+    if (opts.read_ratio > 0) {
+      // reads / (writes + reads) = read_ratio
+      const int64_t writes = trace.at(i).creations + trace.at(i).deletions;
+      const double reads_f = opts.read_ratio / (1 - opts.read_ratio) *
+                             static_cast<double>(writes);
+      emit(Request::Type::kRead, rng.Poisson(reads_f));
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Request& a, const Request& b) { return a.at < b.at; });
+  return out;
+}
+
+}  // namespace samya::workload

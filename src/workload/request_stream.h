@@ -1,0 +1,40 @@
+#ifndef SAMYA_WORKLOAD_REQUEST_STREAM_H_
+#define SAMYA_WORKLOAD_REQUEST_STREAM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "common/time.h"
+#include "workload/trace.h"
+
+namespace samya::workload {
+
+/// A single client request against the token store.
+struct Request {
+  enum class Type { kAcquire, kRelease, kRead };
+  SimTime at = 0;
+  Type type = Type::kAcquire;
+  int64_t amount = 1;
+};
+
+/// Options for turning a demand trace into a timed request stream.
+struct RequestStreamOptions {
+  /// Fraction of *additional* read-only transactions injected (Fig 3h):
+  /// read_ratio r means reads make up fraction r of all requests.
+  double read_ratio = 0.0;
+  /// Horizon cap: requests after this time are not generated (0 = no cap).
+  SimTime horizon = 0;
+  uint64_t seed = 7;
+};
+
+/// \brief Expands a `DemandTrace` into individual timed requests for one
+/// region's client: each creation becomes acquireTokens(VM, 1) and each
+/// deletion releaseTokens(VM, 1), spread uniformly within their interval
+/// (§5.1.2). Reads are interleaved per `read_ratio`. Output is time-sorted.
+std::vector<Request> GenerateRequests(const DemandTrace& trace,
+                                      const RequestStreamOptions& opts);
+
+}  // namespace samya::workload
+
+#endif  // SAMYA_WORKLOAD_REQUEST_STREAM_H_

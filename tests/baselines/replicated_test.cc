@@ -1,0 +1,92 @@
+#include "baselines/replicated.h"
+
+#include <gtest/gtest.h>
+
+#include "consensus/token_sm.h"
+#include "harness/workload_client.h"
+
+namespace samya::baselines {
+namespace {
+
+using harness::WorkloadClient;
+using harness::WorkloadClientOptions;
+using workload::Request;
+
+TEST(ReplicatedBaselineTest, MultiPaxSysCommitsThroughLeader) {
+  sim::Cluster cluster(1);
+  auto group = CreateMultiPaxSys(cluster, /*max_tokens=*/100);
+  WorkloadClientOptions copts;
+  copts.servers = group.replica_ids;
+  auto* client = cluster.AddNode<WorkloadClient>(
+      sim::Region::kAsiaEast2, copts,
+      std::vector<Request>{{Millis(1), Request::Type::kAcquire, 10},
+                           {Millis(400), Request::Type::kRelease, 4}});
+  cluster.StartAll();
+  cluster.env().RunFor(Seconds(3));
+  EXPECT_EQ(client->stats().committed_acquires, 1u);
+  EXPECT_EQ(client->stats().committed_releases, 1u);
+  for (auto* r : group.multipaxos) {
+    const auto& sm =
+        static_cast<const consensus::TokenStateMachine&>(r->state_machine());
+    EXPECT_EQ(sm.acquired(), 6);
+  }
+  // A distant client pays client->leader plus one replication round.
+  EXPECT_GT(client->stats().latency.min(), Millis(100));
+}
+
+TEST(ReplicatedBaselineTest, CockroachLikeCommitsThroughLeader) {
+  sim::Cluster cluster(2);
+  auto group = CreateCockroachLike(cluster, /*max_tokens=*/100);
+  WorkloadClientOptions copts;
+  copts.servers = group.replica_ids;
+  auto* client = cluster.AddNode<WorkloadClient>(
+      sim::Region::kEuropeWest2, copts,
+      std::vector<Request>{{Millis(500), Request::Type::kAcquire, 10}});
+  cluster.StartAll();
+  cluster.env().RunFor(Seconds(4));
+  EXPECT_EQ(client->stats().committed_acquires, 1u);
+  int applied = 0;
+  for (auto* r : group.raft) {
+    const auto& sm =
+        static_cast<const consensus::TokenStateMachine&>(r->state_machine());
+    if (sm.acquired() == 10) ++applied;
+  }
+  EXPECT_GE(applied, 3);  // at least a majority has applied
+}
+
+TEST(ReplicatedBaselineTest, BothEnforceTheGlobalLimit) {
+  for (int which = 0; which < 2; ++which) {
+    sim::Cluster cluster(3 + static_cast<uint64_t>(which));
+    auto group = which == 0 ? CreateMultiPaxSys(cluster, 15)
+                            : CreateCockroachLike(cluster, 15);
+    WorkloadClientOptions copts;
+    copts.servers = group.replica_ids;
+    std::vector<Request> script;
+    for (int i = 0; i < 4; ++i) {
+      script.push_back({Millis(500 + 300 * i), Request::Type::kAcquire, 10});
+    }
+    auto* client = cluster.AddNode<WorkloadClient>(sim::Region::kUsWest1,
+                                                   copts, script);
+    cluster.StartAll();
+    cluster.env().RunFor(Seconds(6));
+    EXPECT_EQ(client->stats().committed_acquires, 1u) << "which=" << which;
+    EXPECT_EQ(client->stats().rejected, 3u) << "which=" << which;
+  }
+}
+
+TEST(ReplicatedBaselineTest, PlacementMatchesPaper) {
+  sim::Cluster cluster(4);
+  auto group = CreateMultiPaxSys(cluster, 100);
+  int us = 0;
+  for (auto* r : group.multipaxos) {
+    const sim::Region region = r->region();
+    if (region == sim::Region::kUsWest1 || region == sim::Region::kUsCentral1 ||
+        region == sim::Region::kUsEast1) {
+      ++us;
+    }
+  }
+  EXPECT_EQ(us, 3);  // "3 out of 5 sites ... within the US" (§5.2)
+}
+
+}  // namespace
+}  // namespace samya::baselines

@@ -1,0 +1,141 @@
+#include "common/codec.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "common/random.h"
+
+namespace samya {
+namespace {
+
+TEST(CodecTest, FixedWidthRoundTrip) {
+  BufferWriter w;
+  w.PutU8(0xab);
+  w.PutU16(0xbeef);
+  w.PutU32(0xdeadbeef);
+  w.PutU64(0x0123456789abcdefULL);
+  w.PutI64(-42);
+  w.PutDouble(3.14159);
+  w.PutBool(true);
+  w.PutBool(false);
+
+  BufferReader r(w.buffer());
+  EXPECT_EQ(r.GetU8().value(), 0xab);
+  EXPECT_EQ(r.GetU16().value(), 0xbeef);
+  EXPECT_EQ(r.GetU32().value(), 0xdeadbeefu);
+  EXPECT_EQ(r.GetU64().value(), 0x0123456789abcdefULL);
+  EXPECT_EQ(r.GetI64().value(), -42);
+  EXPECT_DOUBLE_EQ(r.GetDouble().value(), 3.14159);
+  EXPECT_TRUE(r.GetBool().value());
+  EXPECT_FALSE(r.GetBool().value());
+  EXPECT_TRUE(r.Done());
+}
+
+TEST(CodecTest, VarintBoundaries) {
+  const uint64_t cases[] = {0,      1,        127,        128,
+                            16383,  16384,    (1ULL << 32) - 1,
+                            1ULL << 32, std::numeric_limits<uint64_t>::max()};
+  for (uint64_t v : cases) {
+    BufferWriter w;
+    w.PutVarint(v);
+    BufferReader r(w.buffer());
+    EXPECT_EQ(r.GetVarint().value(), v) << v;
+    EXPECT_TRUE(r.Done());
+  }
+}
+
+TEST(CodecTest, SignedVarintZigZag) {
+  const int64_t cases[] = {0,  -1, 1,  -2, 2,
+                           std::numeric_limits<int64_t>::min(),
+                           std::numeric_limits<int64_t>::max(), -123456789};
+  for (int64_t v : cases) {
+    BufferWriter w;
+    w.PutVarintSigned(v);
+    BufferReader r(w.buffer());
+    EXPECT_EQ(r.GetVarintSigned().value(), v) << v;
+  }
+}
+
+TEST(CodecTest, SmallSignedValuesAreCompact) {
+  BufferWriter w;
+  w.PutVarintSigned(-3);
+  EXPECT_EQ(w.size(), 1u);
+}
+
+TEST(CodecTest, StringRoundTrip) {
+  BufferWriter w;
+  w.PutString("");
+  w.PutString("hello");
+  w.PutString(std::string(1000, 'x'));
+  BufferReader r(w.buffer());
+  EXPECT_EQ(r.GetString().value(), "");
+  EXPECT_EQ(r.GetString().value(), "hello");
+  EXPECT_EQ(r.GetString().value(), std::string(1000, 'x'));
+  EXPECT_TRUE(r.Done());
+}
+
+TEST(CodecTest, UnderflowIsCorruptionNotUB) {
+  BufferWriter w;
+  w.PutU8(1);
+  BufferReader r(w.buffer());
+  EXPECT_TRUE(r.GetU32().status().IsCorruption());
+}
+
+TEST(CodecTest, TruncatedStringIsCorruption) {
+  BufferWriter w;
+  w.PutVarint(100);  // claims 100 bytes follow
+  w.PutU8('a');
+  BufferReader r(w.buffer());
+  EXPECT_TRUE(r.GetString().status().IsCorruption());
+}
+
+TEST(CodecTest, InvalidBoolIsCorruption) {
+  BufferWriter w;
+  w.PutU8(7);
+  BufferReader r(w.buffer());
+  EXPECT_TRUE(r.GetBool().status().IsCorruption());
+}
+
+TEST(CodecTest, OverlongVarintIsCorruption) {
+  BufferWriter w;
+  for (int i = 0; i < 11; ++i) w.PutU8(0x80);
+  BufferReader r(w.buffer());
+  EXPECT_TRUE(r.GetVarint().status().IsCorruption());
+}
+
+// Property sweep: random mixed-field messages round-trip exactly.
+class CodecFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CodecFuzzTest, RandomRoundTrip) {
+  Rng rng(GetParam());
+  for (int iter = 0; iter < 200; ++iter) {
+    std::vector<int64_t> ints;
+    std::vector<std::string> strs;
+    BufferWriter w;
+    const int n = static_cast<int>(rng.UniformInt(0, 20));
+    for (int i = 0; i < n; ++i) {
+      int64_t v = static_cast<int64_t>(rng.Next());
+      ints.push_back(v);
+      w.PutVarintSigned(v);
+      std::string s;
+      const int len = static_cast<int>(rng.UniformInt(0, 32));
+      for (int j = 0; j < len; ++j)
+        s.push_back(static_cast<char>(rng.UniformInt(0, 255)));
+      strs.push_back(s);
+      w.PutString(s);
+    }
+    BufferReader r(w.buffer());
+    for (int i = 0; i < n; ++i) {
+      EXPECT_EQ(r.GetVarintSigned().value(), ints[static_cast<size_t>(i)]);
+      EXPECT_EQ(r.GetString().value(), strs[static_cast<size_t>(i)]);
+    }
+    EXPECT_TRUE(r.Done());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CodecFuzzTest,
+                         ::testing::Values(1, 2, 3, 42, 999));
+
+}  // namespace
+}  // namespace samya

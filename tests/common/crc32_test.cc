@@ -1,0 +1,36 @@
+#include "common/crc32.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace samya {
+namespace {
+
+uint32_t CrcOf(const std::string& s) {
+  return Crc32c(reinterpret_cast<const uint8_t*>(s.data()), s.size());
+}
+
+TEST(Crc32Test, KnownVectors) {
+  // Standard CRC-32C test vectors.
+  EXPECT_EQ(CrcOf(""), 0x00000000u);
+  EXPECT_EQ(CrcOf("123456789"), 0xe3069283u);
+  EXPECT_EQ(CrcOf(std::string(32, '\0')), 0x8a9136aau);
+}
+
+TEST(Crc32Test, SensitiveToSingleBitFlip) {
+  std::string a = "the quick brown fox";
+  std::string b = a;
+  b[3] ^= 0x01;
+  EXPECT_NE(CrcOf(a), CrcOf(b));
+}
+
+TEST(Crc32Test, MaskRoundTrip) {
+  for (uint32_t crc : {0u, 1u, 0xdeadbeefu, 0xffffffffu, CrcOf("samya")}) {
+    EXPECT_EQ(UnmaskCrc(MaskCrc(crc)), crc);
+    EXPECT_NE(MaskCrc(crc), crc);  // masking changes the value
+  }
+}
+
+}  // namespace
+}  // namespace samya

@@ -1,0 +1,100 @@
+#include "common/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/random.h"
+
+namespace samya {
+namespace {
+
+TEST(HistogramTest, EmptyHistogram) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.Percentile(50), 0.0);
+  EXPECT_EQ(h.mean(), 0.0);
+}
+
+TEST(HistogramTest, SingleValue) {
+  Histogram h;
+  h.Record(1000);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 1000);
+  EXPECT_EQ(h.max(), 1000);
+  EXPECT_NEAR(h.Percentile(50), 1000, 50);
+  EXPECT_NEAR(h.Percentile(99), 1000, 50);
+}
+
+TEST(HistogramTest, MeanIsExact) {
+  Histogram h;
+  for (int64_t v : {10, 20, 30, 40}) h.Record(v);
+  EXPECT_DOUBLE_EQ(h.mean(), 25.0);
+}
+
+TEST(HistogramTest, PercentilesWithinBucketError) {
+  Histogram h;
+  std::vector<int64_t> values;
+  Rng rng(3);
+  for (int i = 0; i < 100000; ++i) {
+    int64_t v = rng.UniformInt(1, 1000000);
+    values.push_back(v);
+    h.Record(v);
+  }
+  std::sort(values.begin(), values.end());
+  for (double p : {50.0, 90.0, 95.0, 99.0, 99.9}) {
+    const double exact = static_cast<double>(
+        values[static_cast<size_t>(p / 100.0 * (values.size() - 1))]);
+    const double approx = h.Percentile(p);
+    EXPECT_NEAR(approx, exact, exact * 0.06) << "p" << p;
+  }
+}
+
+TEST(HistogramTest, NegativeValuesClampToZero) {
+  Histogram h;
+  h.Record(-5);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.count(), 1u);
+}
+
+TEST(HistogramTest, MergeCombines) {
+  Histogram a, b;
+  for (int i = 1; i <= 100; ++i) a.Record(i);
+  for (int i = 1001; i <= 1100; ++i) b.Record(i);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 200u);
+  EXPECT_EQ(a.min(), 1);
+  EXPECT_EQ(a.max(), 1100);
+  EXPECT_GT(a.Percentile(75), 900);
+}
+
+TEST(HistogramTest, ClearResets) {
+  Histogram h;
+  h.Record(123);
+  h.Clear();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.Percentile(99), 0.0);
+}
+
+TEST(HistogramTest, MonotonePercentiles) {
+  Histogram h;
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i)
+    h.Record(static_cast<int64_t>(rng.Exponential(10000)));
+  double prev = 0;
+  for (double p = 0; p <= 100.0; p += 0.5) {
+    double v = h.Percentile(p);
+    EXPECT_GE(v, prev - 1e-9);
+    prev = v;
+  }
+}
+
+TEST(HistogramTest, ToStringMentionsCount) {
+  Histogram h;
+  h.Record(5000);
+  EXPECT_NE(h.ToString().find("count=1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace samya

@@ -1,0 +1,97 @@
+#include "common/random.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace samya {
+namespace {
+
+TEST(RngTest, Deterministic) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.Next() == b.Next());
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, UniformIntInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.UniformInt(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+  EXPECT_EQ(rng.UniformInt(3, 3), 3);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(11);
+  const int n = 100000;
+  double sum = 0, sumsq = 0;
+  for (int i = 0; i < n; ++i) {
+    double g = rng.NextGaussian();
+    sum += g;
+    sumsq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sumsq / n, 1.0, 0.03);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(13);
+  const int n = 100000;
+  double sum = 0;
+  for (int i = 0; i < n; ++i) sum += rng.Exponential(5.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.15);
+}
+
+TEST(RngTest, PoissonMeanSmallAndLarge) {
+  Rng rng(17);
+  for (double mean : {0.5, 3.0, 50.0, 200.0}) {
+    const int n = 20000;
+    double sum = 0;
+    for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.Poisson(mean));
+    EXPECT_NEAR(sum / n, mean, std::max(0.1, mean * 0.05)) << mean;
+  }
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(19);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, ForkedStreamsAreDecorrelated) {
+  Rng parent(42);
+  Rng a = parent.Fork(1);
+  Rng b = parent.Fork(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.Next() == b.Next());
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, ForkIsDeterministic) {
+  Rng p1(42), p2(42);
+  Rng a = p1.Fork(5), b = p2.Fork(5);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+}  // namespace
+}  // namespace samya

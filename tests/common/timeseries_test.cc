@@ -1,0 +1,62 @@
+#include "common/timeseries.h"
+
+#include <gtest/gtest.h>
+
+namespace samya {
+namespace {
+
+TEST(RateSeriesTest, BucketsBySimTime) {
+  RateSeries s(Seconds(1));
+  s.Record(Millis(100));
+  s.Record(Millis(900));
+  s.Record(Millis(1500));
+  EXPECT_EQ(s.bin(0), 2);
+  EXPECT_EQ(s.bin(1), 1);
+  EXPECT_EQ(s.bin(99), 0);
+  EXPECT_EQ(s.total(), 3);
+}
+
+TEST(RateSeriesTest, CountedRecords) {
+  RateSeries s(Seconds(1));
+  s.Record(0, 10);
+  s.Record(Millis(10), 5);
+  EXPECT_EQ(s.bin(0), 15);
+  EXPECT_DOUBLE_EQ(s.RatePerSecond(0), 15.0);
+}
+
+TEST(RateSeriesTest, MeanRateOverWindow) {
+  RateSeries s(Seconds(1));
+  for (int sec = 0; sec < 10; ++sec) s.Record(Seconds(sec), 100);
+  EXPECT_DOUBLE_EQ(s.MeanRate(0, Seconds(10)), 100.0);
+  EXPECT_DOUBLE_EQ(s.MeanRate(Seconds(5), Seconds(10)), 100.0);
+  EXPECT_DOUBLE_EQ(s.MeanRate(Seconds(10), Seconds(20)), 0.0);
+  EXPECT_DOUBLE_EQ(s.MeanRate(Seconds(5), Seconds(5)), 0.0);
+}
+
+TEST(RateSeriesTest, ResampleCoarse) {
+  RateSeries s(Seconds(1));
+  for (int sec = 0; sec < 60; ++sec) s.Record(Seconds(sec), sec < 30 ? 10 : 20);
+  auto rates = s.Resample(Seconds(30));
+  ASSERT_EQ(rates.size(), 2u);
+  EXPECT_DOUBLE_EQ(rates[0], 10.0);
+  EXPECT_DOUBLE_EQ(rates[1], 20.0);
+}
+
+TEST(RateSeriesTest, CsvHasHeaderAndRows) {
+  RateSeries s(Seconds(1));
+  s.Record(0, 60);
+  std::string csv = s.ToCsv(Seconds(1));
+  EXPECT_NE(csv.find("minute,tps"), std::string::npos);
+  EXPECT_NE(csv.find("0.00,60.0"), std::string::npos);
+}
+
+TEST(SeriesStatsTest, MeanAndStdDev) {
+  std::vector<double> xs = {2, 4, 4, 4, 5, 5, 7, 9};
+  EXPECT_DOUBLE_EQ(Mean(xs), 5.0);
+  EXPECT_NEAR(StdDev(xs), 2.138, 0.01);
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(StdDev({1.0}), 0.0);
+}
+
+}  // namespace
+}  // namespace samya

@@ -1,0 +1,125 @@
+#include "consensus/paxos.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/cluster.h"
+#include "sim/fault_injector.h"
+
+namespace samya::consensus {
+namespace {
+
+class PaxosTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  static std::vector<PaxosNode*> MakeGroup(sim::Cluster& cluster, int n) {
+    std::vector<sim::NodeId> ids;
+    for (int i = 0; i < n; ++i) ids.push_back(i);
+    std::vector<PaxosNode*> nodes;
+    for (int i = 0; i < n; ++i) {
+      PaxosNode::Options opts;
+      opts.group = ids;
+      auto* node = cluster.AddNode<PaxosNode>(
+          sim::kPaperRegions[static_cast<size_t>(i) % 5], opts);
+      node->set_storage(cluster.StorageFor(node->id()));
+      nodes.push_back(node);
+    }
+    return nodes;
+  }
+
+  static void CheckAgreement(const std::vector<PaxosNode*>& nodes) {
+    std::optional<int64_t> chosen;
+    for (auto* n : nodes) {
+      if (!n->decided().has_value()) continue;
+      if (!chosen.has_value()) chosen = n->decided();
+      EXPECT_EQ(*chosen, *n->decided()) << "two nodes decided different values";
+    }
+  }
+};
+
+TEST_F(PaxosTest, SingleProposerDecides) {
+  sim::Cluster cluster(1);
+  auto nodes = MakeGroup(cluster, 5);
+  cluster.StartAll();
+  nodes[0]->Propose(42);
+  cluster.env().RunFor(Seconds(2));
+  for (auto* n : nodes) {
+    ASSERT_TRUE(n->decided().has_value()) << "node " << n->id();
+    EXPECT_EQ(*n->decided(), 42);
+  }
+}
+
+TEST_F(PaxosTest, CompetingProposersAgree) {
+  sim::Cluster cluster(2);
+  auto nodes = MakeGroup(cluster, 5);
+  cluster.StartAll();
+  nodes[0]->Propose(1);
+  nodes[1]->Propose(2);
+  nodes[4]->Propose(3);
+  cluster.env().RunFor(Seconds(10));
+  CheckAgreement(nodes);
+  ASSERT_TRUE(nodes[0]->decided().has_value());
+}
+
+TEST_F(PaxosTest, ToleratesMinorityCrash) {
+  sim::Cluster cluster(3);
+  auto nodes = MakeGroup(cluster, 5);
+  cluster.StartAll();
+  cluster.net().Crash(3);
+  cluster.net().Crash(4);
+  nodes[0]->Propose(7);
+  cluster.env().RunFor(Seconds(3));
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(nodes[static_cast<size_t>(i)]->decided().has_value());
+    EXPECT_EQ(*nodes[static_cast<size_t>(i)]->decided(), 7);
+  }
+}
+
+TEST_F(PaxosTest, BlocksWithoutMajority) {
+  sim::Cluster cluster(4);
+  auto nodes = MakeGroup(cluster, 5);
+  cluster.StartAll();
+  cluster.net().Crash(2);
+  cluster.net().Crash(3);
+  cluster.net().Crash(4);
+  nodes[0]->Propose(9);
+  cluster.env().RunFor(Seconds(5));
+  EXPECT_FALSE(nodes[0]->decided().has_value());
+  EXPECT_FALSE(nodes[1]->decided().has_value());
+}
+
+TEST_F(PaxosTest, DecidesDespiteMessageLoss) {
+  sim::Cluster cluster(5);
+  auto nodes = MakeGroup(cluster, 5);
+  cluster.StartAll();
+  cluster.net().set_loss_rate(0.25);
+  nodes[2]->Propose(123);
+  cluster.env().RunFor(Seconds(30));
+  CheckAgreement(nodes);
+  EXPECT_TRUE(nodes[2]->decided().has_value());
+  EXPECT_EQ(*nodes[2]->decided(), 123);
+}
+
+// Agreement property sweep: random crash/recover churn plus loss; whatever
+// subset decides must agree (this is the analogue of Avantan's Thm 1).
+TEST_P(PaxosTest, AgreementUnderChurn) {
+  sim::Cluster cluster(GetParam());
+  auto nodes = MakeGroup(cluster, 5);
+  cluster.StartAll();
+  cluster.net().set_loss_rate(0.10);
+
+  sim::FaultInjector faults(&cluster.net());
+  Rng rng(GetParam() * 31 + 1);
+  std::vector<sim::NodeId> ids = {0, 1, 2, 3, 4};
+  faults.RandomChurn(ids, Seconds(8), /*crashes_per_node=*/1,
+                     /*downtime=*/Millis(800), rng);
+
+  nodes[0]->Propose(100 + static_cast<int64_t>(GetParam()));
+  nodes[3]->Propose(200 + static_cast<int64_t>(GetParam()));
+  cluster.env().RunFor(Seconds(20));
+  CheckAgreement(nodes);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PaxosTest,
+                         ::testing::Values(11, 22, 33, 44, 55, 66, 77, 88));
+
+}  // namespace
+}  // namespace samya::consensus

@@ -1,0 +1,189 @@
+#include "consensus/raft.h"
+
+#include <gtest/gtest.h>
+
+#include "consensus/token_sm.h"
+#include "harness/workload_client.h"
+#include "sim/cluster.h"
+#include "sim/fault_injector.h"
+
+namespace samya::consensus {
+namespace {
+
+using harness::WorkloadClient;
+using harness::WorkloadClientOptions;
+using workload::Request;
+
+std::vector<RaftNode*> MakeGroup(sim::Cluster& cluster, int64_t limit,
+                                 int n = 5) {
+  std::vector<sim::NodeId> ids;
+  for (int i = 0; i < n; ++i) ids.push_back(i);
+  std::vector<RaftNode*> nodes;
+  for (int i = 0; i < n; ++i) {
+    RaftOptions opts;
+    opts.group = ids;
+    opts.initial_leader = 0;
+    auto* node = cluster.AddNode<RaftNode>(
+        sim::kPaperRegions[static_cast<size_t>(i) % 5], opts,
+        std::make_unique<TokenStateMachine>(limit));
+    node->set_storage(cluster.StorageFor(node->id()));
+    nodes.push_back(node);
+  }
+  return nodes;
+}
+
+int CountLeaders(const std::vector<RaftNode*>& nodes) {
+  int leaders = 0;
+  for (auto* n : nodes) leaders += (n->alive() && n->IsLeader());
+  return leaders;
+}
+
+TEST(RaftTest, ElectsInitialLeader) {
+  sim::Cluster cluster(1);
+  auto nodes = MakeGroup(cluster, 100);
+  cluster.StartAll();
+  cluster.env().RunFor(Seconds(2));
+  EXPECT_TRUE(nodes[0]->IsLeader());
+  EXPECT_EQ(CountLeaders(nodes), 1);
+  for (auto* n : nodes) EXPECT_EQ(n->leader_hint(), 0);
+}
+
+TEST(RaftTest, CommitsClientCommands) {
+  sim::Cluster cluster(2);
+  auto nodes = MakeGroup(cluster, 100);
+  WorkloadClientOptions copts;
+  copts.servers = {0};
+  std::vector<Request> script = {{Millis(500), Request::Type::kAcquire, 1},
+                                 {Millis(600), Request::Type::kAcquire, 1},
+                                 {Millis(900), Request::Type::kRelease, 1}};
+  auto* client =
+      cluster.AddNode<WorkloadClient>(sim::Region::kUsWest1, copts, script);
+  cluster.StartAll();
+  cluster.env().RunFor(Seconds(4));
+  EXPECT_EQ(client->stats().committed_acquires, 2u);
+  EXPECT_EQ(client->stats().committed_releases, 1u);
+  for (auto* n : nodes) {
+    const auto& sm = static_cast<const TokenStateMachine&>(n->state_machine());
+    EXPECT_EQ(sm.acquired(), 1) << "node " << n->id();
+  }
+}
+
+TEST(RaftTest, ElectsNewLeaderOnCrash) {
+  sim::Cluster cluster(3);
+  auto nodes = MakeGroup(cluster, 100);
+  cluster.StartAll();
+  cluster.env().RunFor(Seconds(1));
+  ASSERT_TRUE(nodes[0]->IsLeader());
+  cluster.net().Crash(0);
+  cluster.env().RunFor(Seconds(5));
+  EXPECT_EQ(CountLeaders(nodes), 1);
+  for (auto* n : nodes) {
+    if (n->id() == 0) continue;
+    EXPECT_GT(n->current_term(), 1);
+  }
+}
+
+TEST(RaftTest, NoProgressWithoutMajority) {
+  sim::Cluster cluster(4);
+  auto nodes = MakeGroup(cluster, 100);
+  cluster.StartAll();
+  cluster.env().RunFor(Seconds(1));
+  cluster.net().Crash(2);
+  cluster.net().Crash(3);
+  cluster.net().Crash(4);
+  WorkloadClientOptions copts;
+  copts.servers = {0};
+  copts.max_attempts = 2;
+  // The client is added after StartAll; start it manually.
+  auto* client = cluster.AddNode<WorkloadClient>(
+      sim::Region::kUsWest1, copts,
+      std::vector<Request>{{Millis(100), Request::Type::kAcquire, 1}});
+  client->Start();
+  cluster.env().RunFor(Seconds(6));
+  EXPECT_EQ(client->stats().committed_acquires, 0u);
+}
+
+TEST(RaftTest, LogsConvergeAfterPartitionHeals) {
+  sim::Cluster cluster(5);
+  auto nodes = MakeGroup(cluster, 1000);
+  WorkloadClientOptions copts;
+  copts.servers = {0, 1, 2, 3, 4};
+  copts.max_attempts = 6;
+  std::vector<Request> script;
+  for (int i = 0; i < 10; ++i) {
+    script.push_back({Seconds(1) + Millis(300 * i), Request::Type::kAcquire, 1});
+  }
+  auto* client =
+      cluster.AddNode<WorkloadClient>(sim::Region::kUsWest1, copts, script);
+  cluster.StartAll();
+
+  // Partition the initial leader away with one follower; the majority side
+  // elects a new leader and keeps committing.
+  sim::FaultInjector faults(&cluster.net());
+  faults.PartitionAt(Millis(500), {{0, 1}, {2, 3, 4, 5}});  // 5 = client
+  faults.HealAt(Seconds(8));
+  cluster.env().RunFor(Seconds(16));
+
+  EXPECT_GE(client->stats().committed_acquires, 8u);
+  // After healing, all logs agree on the committed prefix.
+  int64_t min_commit = nodes[0]->commit_index();
+  for (auto* n : nodes) min_commit = std::min(min_commit, n->commit_index());
+  EXPECT_GT(min_commit, 0);
+  for (auto* n : nodes) {
+    for (int64_t i = 1; i <= min_commit; ++i) {
+      EXPECT_EQ(n->log()[static_cast<size_t>(i)].command,
+                nodes[2]->log()[static_cast<size_t>(i)].command)
+          << "node " << n->id() << " index " << i;
+    }
+  }
+  EXPECT_EQ(CountLeaders(nodes), 1);
+}
+
+TEST(RaftTest, RecoversStateFromDurableLog) {
+  sim::Cluster cluster(6);
+  auto nodes = MakeGroup(cluster, 100);
+  WorkloadClientOptions copts;
+  copts.servers = {0};
+  std::vector<Request> script = {{Millis(500), Request::Type::kAcquire, 1},
+                                 {Millis(700), Request::Type::kAcquire, 1}};
+  auto* client =
+      cluster.AddNode<WorkloadClient>(sim::Region::kUsWest1, copts, script);
+  cluster.StartAll();
+  cluster.env().RunFor(Seconds(3));
+  ASSERT_EQ(client->stats().committed_acquires, 2u);
+
+  cluster.net().Crash(1);
+  cluster.env().RunFor(Seconds(1));
+  cluster.net().Recover(1);
+  cluster.env().RunFor(Seconds(4));
+  const auto& sm =
+      static_cast<const TokenStateMachine&>(nodes[1]->state_machine());
+  EXPECT_EQ(sm.acquired(), 2);
+}
+
+TEST(RaftTest, AtMostOneLeaderPerTermUnderChurn) {
+  for (uint64_t seed : {101u, 202u, 303u}) {
+    sim::Cluster cluster(seed);
+    auto nodes = MakeGroup(cluster, 100);
+    cluster.StartAll();
+    cluster.net().set_loss_rate(0.05);
+    sim::FaultInjector faults(&cluster.net());
+    Rng rng(seed);
+    faults.RandomChurn({0, 1, 2, 3, 4}, Seconds(10), 1, Seconds(1), rng);
+
+    // Sample leadership every 100ms: never two leaders in the same term.
+    for (int step = 0; step < 150; ++step) {
+      cluster.env().RunFor(Millis(100));
+      std::map<int64_t, int> leaders_per_term;
+      for (auto* n : nodes) {
+        if (n->alive() && n->IsLeader()) ++leaders_per_term[n->current_term()];
+      }
+      for (const auto& [term, count] : leaders_per_term) {
+        EXPECT_LE(count, 1) << "term " << term << " seed " << seed;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace samya::consensus

@@ -1,0 +1,105 @@
+#include "consensus/token_sm.h"
+
+#include <gtest/gtest.h>
+
+namespace samya::consensus {
+namespace {
+
+uint64_t g_next_id = 1;
+
+std::vector<uint8_t> Cmd(TokenOp op, int64_t amount, uint64_t id = 0) {
+  TokenRequest req;
+  req.request_id = id != 0 ? id : g_next_id++;
+  req.op = op;
+  req.amount = amount;
+  BufferWriter w;
+  req.EncodeTo(w);
+  return w.Release();
+}
+
+TokenResponse Decode(const std::vector<uint8_t>& bytes) {
+  BufferReader r(bytes);
+  return TokenResponse::DecodeFrom(r).value();
+}
+
+TEST(TokenStateMachineTest, AcquireWithinLimit) {
+  TokenStateMachine sm(10);
+  auto resp = Decode(sm.Apply(Cmd(TokenOp::kAcquire, 4)));
+  EXPECT_TRUE(resp.committed());
+  EXPECT_EQ(resp.value, 6);
+  EXPECT_EQ(sm.acquired(), 4);
+}
+
+TEST(TokenStateMachineTest, RejectsBeyondLimit) {
+  TokenStateMachine sm(10);
+  EXPECT_TRUE(Decode(sm.Apply(Cmd(TokenOp::kAcquire, 10))).committed());
+  auto resp = Decode(sm.Apply(Cmd(TokenOp::kAcquire, 1)));
+  EXPECT_EQ(resp.status, TokenStatus::kRejected);
+  EXPECT_EQ(sm.acquired(), 10);
+}
+
+TEST(TokenStateMachineTest, ReleaseReturnsTokens) {
+  TokenStateMachine sm(10);
+  EXPECT_TRUE(Decode(sm.Apply(Cmd(TokenOp::kAcquire, 7))).committed());
+  EXPECT_TRUE(Decode(sm.Apply(Cmd(TokenOp::kRelease, 3))).committed());
+  EXPECT_EQ(sm.acquired(), 4);
+  EXPECT_EQ(sm.available(), 6);
+}
+
+TEST(TokenStateMachineTest, RejectsReleaseBelowZero) {
+  TokenStateMachine sm(10);
+  auto resp = Decode(sm.Apply(Cmd(TokenOp::kRelease, 1)));
+  EXPECT_EQ(resp.status, TokenStatus::kRejected);
+  EXPECT_EQ(sm.acquired(), 0);
+}
+
+TEST(TokenStateMachineTest, RejectsNonPositiveAmounts) {
+  TokenStateMachine sm(10);
+  EXPECT_EQ(Decode(sm.Apply(Cmd(TokenOp::kAcquire, 0))).status,
+            TokenStatus::kRejected);
+  EXPECT_EQ(Decode(sm.Apply(Cmd(TokenOp::kAcquire, -5))).status,
+            TokenStatus::kRejected);
+}
+
+TEST(TokenStateMachineTest, ReadsDoNotMutate) {
+  TokenStateMachine sm(10);
+  sm.Apply(Cmd(TokenOp::kAcquire, 2));
+  auto resp = Decode(sm.Apply(Cmd(TokenOp::kRead, 0)));
+  EXPECT_TRUE(resp.committed());
+  EXPECT_EQ(resp.value, 8);
+  EXPECT_EQ(sm.acquired(), 2);
+  auto query = Decode(sm.Query(Cmd(TokenOp::kRead, 0, 42)));
+  EXPECT_EQ(query.request_id, 42u);
+  EXPECT_EQ(query.value, 8);
+}
+
+TEST(TokenStateMachineTest, ConstraintInvariantUnderRandomOps) {
+  // Eq. 1 for the replicated baseline: 0 <= acquired <= limit always.
+  TokenStateMachine sm(50);
+  uint64_t x = 88172645463325252ULL;
+  for (int i = 0; i < 10000; ++i) {
+    x ^= x << 13; x ^= x >> 7; x ^= x << 17;
+    const bool acquire = (x & 1) != 0;
+    const int64_t amount = static_cast<int64_t>((x >> 1) % 10) - 2;
+    sm.Apply(Cmd(acquire ? TokenOp::kAcquire : TokenOp::kRelease, amount));
+    ASSERT_GE(sm.acquired(), 0);
+    ASSERT_LE(sm.acquired(), 50);
+  }
+}
+
+TEST(TokenStateMachineTest, DeterministicReplay) {
+  // Two replicas applying the same command sequence agree exactly.
+  TokenStateMachine a(30), b(30);
+  std::vector<std::vector<uint8_t>> cmds;
+  for (int i = 0; i < 200; ++i) {
+    cmds.push_back(Cmd(i % 3 == 0 ? TokenOp::kRelease : TokenOp::kAcquire,
+                       1 + i % 4, static_cast<uint64_t>(i)));
+  }
+  for (const auto& c : cmds) {
+    EXPECT_EQ(a.Apply(c), b.Apply(c));
+  }
+  EXPECT_EQ(a.acquired(), b.acquired());
+}
+
+}  // namespace
+}  // namespace samya::consensus

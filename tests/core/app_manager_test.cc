@@ -1,0 +1,116 @@
+#include "core/app_manager.h"
+
+#include <gtest/gtest.h>
+
+#include "core/site.h"
+#include "harness/workload_client.h"
+#include "sim/cluster.h"
+
+namespace samya::core {
+namespace {
+
+using harness::WorkloadClient;
+using harness::WorkloadClientOptions;
+using workload::Request;
+
+struct Rig {
+  explicit Rig(uint64_t seed) : cluster(seed) {
+    std::vector<sim::NodeId> ids = {0, 1, 2};
+    for (int i = 0; i < 3; ++i) {
+      SiteOptions opts;
+      opts.sites = ids;
+      opts.initial_tokens = 100;
+      opts.enable_prediction = false;
+      auto* site = cluster.AddNode<Site>(
+          sim::kPaperRegions[static_cast<size_t>(i)], opts);
+      site->set_storage(cluster.StorageFor(site->id()));
+      sites.push_back(site);
+    }
+  }
+  sim::Cluster cluster;
+  std::vector<Site*> sites;
+};
+
+TEST(AppManagerTest, RotatesOverSameRegionSites) {
+  Rig rig(1);
+  AppManagerOptions aopts;
+  aopts.sites = {0, 1, 2};
+  aopts.rotate_over = 2;  // spread over the first two
+  auto* am = rig.cluster.AddNode<AppManager>(sim::Region::kUsWest1, aopts);
+
+  WorkloadClientOptions copts;
+  copts.servers = {am->id()};
+  std::vector<Request> script;
+  for (int i = 0; i < 10; ++i) {
+    script.push_back({Millis(10 * (i + 1)), Request::Type::kAcquire, 1});
+  }
+  auto* client = rig.cluster.AddNode<WorkloadClient>(sim::Region::kUsWest1,
+                                                     copts, script);
+  rig.cluster.StartAll();
+  rig.cluster.env().RunFor(Seconds(2));
+  EXPECT_EQ(client->stats().committed_acquires, 10u);
+  EXPECT_EQ(rig.sites[0]->tokens_left(), 95);
+  EXPECT_EQ(rig.sites[1]->tokens_left(), 95);
+  EXPECT_EQ(rig.sites[2]->tokens_left(), 100);
+}
+
+TEST(AppManagerTest, CrashLosesOnlyInFlightRouting) {
+  // The paper calls app managers stateless: a crash may orphan in-flight
+  // requests (the client retries) but a recovered manager serves new ones
+  // with no recovery protocol.
+  Rig rig(2);
+  AppManagerOptions aopts;
+  aopts.sites = {0, 1, 2};
+  auto* am = rig.cluster.AddNode<AppManager>(sim::Region::kUsWest1, aopts);
+
+  WorkloadClientOptions copts;
+  copts.servers = {am->id()};
+  copts.request_timeout = Millis(400);
+  copts.max_attempts = 3;
+  std::vector<Request> script = {{Millis(10), Request::Type::kAcquire, 1},
+                                 {Seconds(2), Request::Type::kAcquire, 1}};
+  auto* client = rig.cluster.AddNode<WorkloadClient>(sim::Region::kUsWest1,
+                                                     copts, script);
+  rig.cluster.StartAll();
+  // Crash the AM while the first response is on the wire; recover soon.
+  rig.cluster.env().Schedule(Millis(10) + Micros(400), [&] {
+    rig.cluster.net().Crash(am->id());
+  });
+  rig.cluster.env().Schedule(Millis(100), [&] {
+    rig.cluster.net().Recover(am->id());
+  });
+  rig.cluster.env().RunFor(Seconds(5));
+  // Both requests eventually commit: the first via the client's retry (the
+  // site's dedup guard absorbs the duplicate), the second normally.
+  EXPECT_EQ(client->stats().committed_acquires, 2u);
+  // Exactly two tokens moved despite the retry.
+  EXPECT_EQ(rig.sites[0]->tokens_left() + rig.sites[1]->tokens_left() +
+                rig.sites[2]->tokens_left(),
+            298);
+}
+
+TEST(AppManagerTest, GivesUpAfterMaxAttempts) {
+  Rig rig(3);
+  AppManagerOptions aopts;
+  aopts.sites = {0};
+  aopts.site_timeout = Millis(200);
+  aopts.max_attempts = 2;
+  auto* am = rig.cluster.AddNode<AppManager>(sim::Region::kUsWest1, aopts);
+
+  WorkloadClientOptions copts;
+  copts.servers = {am->id()};
+  copts.request_timeout = Seconds(2);
+  copts.max_attempts = 1;
+  auto* client = rig.cluster.AddNode<WorkloadClient>(
+      sim::Region::kUsWest1, copts,
+      std::vector<Request>{{Millis(10), Request::Type::kAcquire, 1}});
+  rig.cluster.StartAll();
+  rig.cluster.net().Crash(0);  // the only site
+  rig.cluster.env().RunFor(Seconds(5));
+  EXPECT_EQ(client->stats().committed_acquires, 0u);
+  EXPECT_EQ(client->stats().dropped, 1u);
+  EXPECT_EQ(am->relayed(), 2u);  // original + one failover attempt
+}
+
+}  // namespace
+}  // namespace samya::core

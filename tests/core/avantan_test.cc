@@ -1,0 +1,223 @@
+#include <gtest/gtest.h>
+
+#include "core/site.h"
+#include "sim/cluster.h"
+#include "sim/fault_injector.h"
+
+namespace samya::core {
+namespace {
+
+struct ProtoRig {
+  ProtoRig(uint64_t seed, int n, Protocol protocol, int64_t tokens_each = 100)
+      : cluster(seed) {
+    std::vector<sim::NodeId> ids;
+    for (int i = 0; i < n; ++i) ids.push_back(i);
+    for (int i = 0; i < n; ++i) {
+      SiteOptions opts;
+      opts.sites = ids;
+      opts.initial_tokens = tokens_each;
+      opts.enable_prediction = false;
+      opts.protocol = protocol;
+      auto* site = cluster.AddNode<Site>(
+          sim::kPaperRegions[static_cast<size_t>(i) % 5], opts);
+      site->set_storage(cluster.StorageFor(site->id()));
+      sites.push_back(site);
+    }
+    cluster.StartAll();
+  }
+
+  int64_t TotalTokens() const {
+    int64_t sum = 0;
+    for (auto* s : sites) sum += s->tokens_left();
+    return sum;
+  }
+
+  int64_t TotalTokensAlive() const {
+    int64_t sum = 0;
+    for (auto* s : sites) {
+      if (s->alive()) sum += s->tokens_left();
+    }
+    return sum;
+  }
+
+  bool AnyFrozen() const {
+    for (auto* s : sites) {
+      if (s->alive() && s->frozen()) return true;
+    }
+    return false;
+  }
+
+  sim::Cluster cluster;
+  std::vector<Site*> sites;
+};
+
+TEST(AvantanMajorityTest, RedistributesAndConserves) {
+  ProtoRig rig(1, 5, Protocol::kAvantanMajority);
+  rig.sites[0]->TriggerRedistributionForTest(300);
+  rig.cluster.env().RunFor(Seconds(3));
+  EXPECT_FALSE(rig.AnyFrozen());
+  EXPECT_GE(rig.sites[0]->tokens_left(), 300);
+  EXPECT_EQ(rig.TotalTokens(), 500);
+  EXPECT_GE(rig.sites[0]->stats().instances_completed, 1u);
+}
+
+TEST(AvantanMajorityTest, ConcurrentTriggersBothResolve) {
+  ProtoRig rig(2, 5, Protocol::kAvantanMajority);
+  rig.sites[0]->TriggerRedistributionForTest(200);
+  rig.sites[3]->TriggerRedistributionForTest(150);
+  rig.cluster.env().RunFor(Seconds(6));
+  EXPECT_FALSE(rig.AnyFrozen());
+  EXPECT_EQ(rig.TotalTokens(), 500);
+}
+
+TEST(AvantanMajorityTest, AbortsWithoutMajorityButServesLocally) {
+  ProtoRig rig(3, 5, Protocol::kAvantanMajority);
+  rig.cluster.net().Crash(2);
+  rig.cluster.net().Crash(3);
+  rig.cluster.net().Crash(4);
+  rig.sites[0]->TriggerRedistributionForTest(300);
+  rig.cluster.env().RunFor(Seconds(5));
+  // Phase-1 timeout: the instance aborts, the site unfreezes.
+  EXPECT_FALSE(rig.sites[0]->frozen());
+  EXPECT_GE(rig.sites[0]->stats().instances_aborted, 1u);
+  EXPECT_EQ(rig.sites[0]->tokens_left(), 100);  // unchanged
+}
+
+TEST(AvantanMajorityTest, LeaderCrashRecoveredByCohorts) {
+  ProtoRig rig(4, 5, Protocol::kAvantanMajority);
+  rig.sites[0]->TriggerRedistributionForTest(300);
+  // Crash the leader while Election-GetValue messages are in flight.
+  rig.cluster.env().Schedule(Millis(120), [&] { rig.cluster.net().Crash(0); });
+  rig.cluster.env().RunFor(Seconds(8));
+  // The cohorts must not stay frozen forever.
+  EXPECT_FALSE(rig.AnyFrozen());
+  // Tokens among live sites remain <= 500, and nothing is minted.
+  EXPECT_LE(rig.TotalTokensAlive(), 500);
+  // When the leader recovers, the system converges back to 500 total.
+  rig.cluster.net().Recover(0);
+  rig.cluster.env().RunFor(Seconds(8));
+  EXPECT_EQ(rig.TotalTokens(), 500);
+  EXPECT_FALSE(rig.AnyFrozen());
+}
+
+TEST(AvantanMajorityTest, CrashAfterAcceptStillDecidesOnce) {
+  ProtoRig rig(5, 5, Protocol::kAvantanMajority);
+  rig.sites[0]->TriggerRedistributionForTest(300);
+  // Crash the leader after the accept phase likely started (~1 max RTT).
+  rig.cluster.env().Schedule(Millis(400), [&] { rig.cluster.net().Crash(0); });
+  rig.cluster.env().Schedule(Seconds(4), [&] { rig.cluster.net().Recover(0); });
+  rig.cluster.env().RunFor(Seconds(12));
+  EXPECT_FALSE(rig.AnyFrozen());
+  EXPECT_EQ(rig.TotalTokens(), 500);
+}
+
+TEST(AvantanAnyTest, SubsetRedistributionLeavesOthersFree) {
+  ProtoRig rig(6, 5, Protocol::kAvantanAny);
+  rig.sites[0]->TriggerRedistributionForTest(150);
+  rig.cluster.env().RunFor(Seconds(3));
+  EXPECT_FALSE(rig.AnyFrozen());
+  EXPECT_GE(rig.sites[0]->tokens_left(), 150);
+  EXPECT_EQ(rig.TotalTokens(), 500);
+}
+
+TEST(AvantanAnyTest, WorksWithOnlyMinorityAlive) {
+  // The Avantan[*] headline property (§4.3.2, Fig 3c): redistribution
+  // succeeds even when a majority of the sites are dead.
+  ProtoRig rig(7, 5, Protocol::kAvantanAny);
+  rig.cluster.net().Crash(2);
+  rig.cluster.net().Crash(3);
+  rig.cluster.net().Crash(4);
+  rig.sites[0]->TriggerRedistributionForTest(150);
+  rig.cluster.env().RunFor(Seconds(4));
+  EXPECT_GE(rig.sites[0]->tokens_left(), 150);
+  EXPECT_EQ(rig.sites[0]->tokens_left() + rig.sites[1]->tokens_left(), 200);
+  EXPECT_FALSE(rig.sites[0]->frozen());
+  EXPECT_FALSE(rig.sites[1]->frozen());
+}
+
+TEST(AvantanMajorityTest, CannotRedistributeInMinorityPartition) {
+  // Fig 3d contrast: Avantan[(n+1)/2] in the 2-site partition cannot
+  // redistribute (no majority), Avantan[*] can.
+  ProtoRig rig(8, 5, Protocol::kAvantanMajority);
+  rig.cluster.net().SetPartition({{0, 1}, {2, 3, 4}});
+  rig.sites[0]->TriggerRedistributionForTest(150);
+  rig.cluster.env().RunFor(Seconds(5));
+  EXPECT_EQ(rig.sites[0]->tokens_left(), 100);  // no tokens moved
+  EXPECT_GE(rig.sites[0]->stats().instances_aborted, 1u);
+}
+
+TEST(AvantanAnyTest, RedistributesInsideMinorityPartition) {
+  ProtoRig rig(9, 5, Protocol::kAvantanAny);
+  rig.cluster.net().SetPartition({{0, 1}, {2, 3, 4}});
+  rig.sites[0]->TriggerRedistributionForTest(150);
+  rig.cluster.env().RunFor(Seconds(5));
+  EXPECT_GE(rig.sites[0]->tokens_left(), 150);
+  EXPECT_EQ(rig.sites[0]->tokens_left() + rig.sites[1]->tokens_left(), 200);
+}
+
+TEST(AvantanAnyTest, ConcurrentDisjointInstances) {
+  // Two leaders with small needs can run concurrent instances over disjoint
+  // subsets (the whole point of Avantan[*]).
+  ProtoRig rig(10, 6, Protocol::kAvantanAny);
+  rig.sites[0]->TriggerRedistributionForTest(120);
+  rig.sites[3]->TriggerRedistributionForTest(120);
+  rig.cluster.env().RunFor(Seconds(5));
+  EXPECT_FALSE(rig.AnyFrozen());
+  EXPECT_EQ(rig.TotalTokens(), 600);
+  EXPECT_GE(rig.sites[0]->tokens_left(), 100);
+  EXPECT_GE(rig.sites[3]->tokens_left(), 100);
+}
+
+TEST(AvantanAnyTest, LeaderCrashMidInstanceResolves) {
+  ProtoRig rig(11, 5, Protocol::kAvantanAny);
+  rig.sites[0]->TriggerRedistributionForTest(300);
+  rig.cluster.env().Schedule(Millis(120), [&] { rig.cluster.net().Crash(0); });
+  rig.cluster.env().Schedule(Seconds(5), [&] { rig.cluster.net().Recover(0); });
+  rig.cluster.env().RunFor(Seconds(15));
+  EXPECT_FALSE(rig.AnyFrozen());
+  EXPECT_EQ(rig.TotalTokens(), 500);
+}
+
+// Agreement + conservation sweep under churn and loss: the code-level
+// counterpart of Theorems 1 and 2.
+class AvantanPropertyTest
+    : public ::testing::TestWithParam<std::tuple<uint64_t, Protocol>> {};
+
+TEST_P(AvantanPropertyTest, ConservationUnderChurn) {
+  const auto [seed, protocol] = GetParam();
+  ProtoRig rig(seed, 5, protocol);
+  rig.cluster.net().set_loss_rate(0.05);
+  sim::FaultInjector faults(&rig.cluster.net());
+  Rng rng(seed * 7 + 3);
+  faults.RandomChurn({0, 1, 2, 3, 4}, Seconds(10), 1, Millis(1500), rng);
+
+  // Staggered triggers from several sites while churn is ongoing.
+  for (int k = 0; k < 6; ++k) {
+    const int site = k % 5;
+    rig.cluster.env().Schedule(Seconds(1 + k), [&rig, site] {
+      if (rig.sites[static_cast<size_t>(site)]->alive()) {
+        rig.sites[static_cast<size_t>(site)]->TriggerRedistributionForTest(
+            150);
+      }
+    });
+  }
+  rig.cluster.env().RunFor(Seconds(25));
+  // Quiesce: heal everything and let stragglers resolve.
+  rig.cluster.net().set_loss_rate(0.0);
+  for (auto* s : rig.sites) {
+    if (!s->alive()) rig.cluster.net().Recover(s->id());
+  }
+  rig.cluster.env().RunFor(Seconds(20));
+
+  EXPECT_FALSE(rig.AnyFrozen()) << "a site stayed frozen after quiesce";
+  EXPECT_EQ(rig.TotalTokens(), 500) << "tokens were minted or destroyed";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, AvantanPropertyTest,
+    ::testing::Combine(::testing::Values(11, 22, 33, 44, 55, 66),
+                       ::testing::Values(Protocol::kAvantanMajority,
+                                         Protocol::kAvantanAny)));
+
+}  // namespace
+}  // namespace samya::core

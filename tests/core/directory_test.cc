@@ -1,0 +1,146 @@
+#include "core/directory.h"
+
+#include <gtest/gtest.h>
+
+#include "core/site.h"
+#include "harness/workload_client.h"
+#include "sim/cluster.h"
+
+namespace samya::core {
+namespace {
+
+using harness::WorkloadClient;
+using harness::WorkloadClientOptions;
+
+TEST(EntityDirectoryTest, RegisterAndLookup) {
+  EntityDirectory dir;
+  dir.Register(1, {10, 11, 12, 13, 14});
+  dir.Register(2, {20, sim::kInvalidNode, 22, 23, 24});
+  EXPECT_EQ(dir.Lookup(1, 0), 10);
+  EXPECT_EQ(dir.Lookup(1, 4), 14);
+  EXPECT_EQ(dir.Lookup(2, 1), sim::kInvalidNode);  // no presence there
+  EXPECT_EQ(dir.Lookup(9, 0), sim::kInvalidNode);  // unknown entity
+  EXPECT_EQ(dir.Lookup(1, 7), sim::kInvalidNode);  // bad region
+  EXPECT_TRUE(dir.Knows(2));
+  EXPECT_FALSE(dir.Knows(9));
+  EXPECT_EQ(dir.Entities(), (std::vector<uint32_t>{1, 2}));
+}
+
+TEST(EntityDirectoryTest, ReRegisterReplaces) {
+  EntityDirectory dir;
+  dir.Register(1, {10});
+  dir.Register(1, {99});
+  EXPECT_EQ(dir.Lookup(1, 0), 99);
+}
+
+/// Full multi-entity deployment: two resources (VM=1, storage=2), each
+/// dis-aggregated across its own pair of sites; an EntityRouter per region
+/// fans requests out by entity id.
+class MultiEntityTest : public ::testing::Test {
+ protected:
+  static constexpr uint32_t kVm = 1;
+  static constexpr uint32_t kStorage = 2;
+
+  MultiEntityTest() : cluster_(7) {
+    // Entity kVm on sites {0,1}; kStorage on sites {2,3}.
+    for (uint32_t entity : {kVm, kStorage}) {
+      std::vector<sim::NodeId> ids;
+      const sim::NodeId base = entity == kVm ? 0 : 2;
+      ids = {base, base + 1};
+      for (int i = 0; i < 2; ++i) {
+        SiteOptions opts;
+        opts.sites = ids;
+        opts.initial_tokens = entity == kVm ? 50 : 500;
+        opts.enable_prediction = false;
+        auto* site = cluster_.AddNode<Site>(
+            sim::kPaperRegions[static_cast<size_t>(i)], opts);
+        site->set_storage(cluster_.StorageFor(site->id()));
+        sites_.push_back(site);
+      }
+    }
+    directory_.Register(kVm, {0, 1, 0, 0, 0});
+    directory_.Register(kStorage, {2, 3, 2, 2, 2});
+    EntityRouterOptions ropts;
+    ropts.directory = &directory_;
+    ropts.region_index = 0;
+    router_ = cluster_.AddNode<EntityRouter>(sim::Region::kUsWest1, ropts);
+  }
+
+  /// Issues one request through the router and returns the response.
+  TokenResponse Ask(uint32_t entity, TokenOp op, int64_t amount) {
+    struct Probe : sim::Node {
+      Probe(sim::NodeId id, sim::Region region) : Node(id, region) {}
+      void HandleMessage(sim::NodeId, uint32_t, BufferReader& r) override {
+        response = TokenResponse::DecodeFrom(r).value();
+        got = true;
+      }
+      void Ask(sim::NodeId router, const TokenRequest& req) {
+        BufferWriter w;
+        req.EncodeTo(w);
+        Send(router, kMsgTokenRequest, w);
+      }
+      TokenResponse response;
+      bool got = false;
+    };
+    static uint64_t next_id = 1;
+    auto* probe = cluster_.AddNode<Probe>(sim::Region::kUsWest1);
+    TokenRequest req;
+    req.request_id = 0xABC000 + next_id++;
+    req.entity = entity;
+    req.op = op;
+    req.amount = amount;
+    probe->Ask(router_->id(), req);
+    cluster_.env().RunFor(Seconds(2));
+    EXPECT_TRUE(probe->got);
+    return probe->response;
+  }
+
+  sim::Cluster cluster_;
+  EntityDirectory directory_;
+  std::vector<Site*> sites_;
+  EntityRouter* router_ = nullptr;
+};
+
+TEST_F(MultiEntityTest, RoutesByEntity) {
+  cluster_.StartAll();
+  auto vm = Ask(kVm, TokenOp::kAcquire, 10);
+  EXPECT_TRUE(vm.committed());
+  auto storage = Ask(kStorage, TokenOp::kAcquire, 100);
+  EXPECT_TRUE(storage.committed());
+  // The acquires landed on the right pools.
+  EXPECT_EQ(sites_[0]->tokens_left(), 40);   // VM site, region 0
+  EXPECT_EQ(sites_[2]->tokens_left(), 400);  // storage site, region 0
+  EXPECT_EQ(router_->routed(), 2u);
+}
+
+TEST_F(MultiEntityTest, EntitiesAreIsolated) {
+  cluster_.StartAll();
+  // Drain the VM pool completely (both sites: 100 tokens).
+  EXPECT_TRUE(Ask(kVm, TokenOp::kAcquire, 50).committed());
+  EXPECT_TRUE(Ask(kVm, TokenOp::kAcquire, 50).committed());
+  EXPECT_EQ(Ask(kVm, TokenOp::kAcquire, 1).status, TokenStatus::kRejected);
+  // Storage is untouched.
+  auto storage = Ask(kStorage, TokenOp::kAcquire, 1);
+  EXPECT_TRUE(storage.committed());
+}
+
+TEST_F(MultiEntityTest, UnknownEntityRejectedAtTheRouter) {
+  cluster_.StartAll();
+  auto resp = Ask(77, TokenOp::kAcquire, 1);
+  EXPECT_EQ(resp.status, TokenStatus::kRejected);
+  EXPECT_EQ(router_->unknown_entity(), 1u);
+  EXPECT_EQ(router_->routed(), 0u);
+}
+
+TEST_F(MultiEntityTest, GlobalReadPerEntity) {
+  cluster_.StartAll();
+  EXPECT_TRUE(Ask(kStorage, TokenOp::kAcquire, 250).committed());
+  auto read = Ask(kStorage, TokenOp::kRead, 1);
+  EXPECT_TRUE(read.committed());
+  EXPECT_EQ(read.value, 1000 - 250);
+  auto vm_read = Ask(kVm, TokenOp::kRead, 1);
+  EXPECT_EQ(vm_read.value, 100);
+}
+
+}  // namespace
+}  // namespace samya::core

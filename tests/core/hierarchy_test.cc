@@ -1,0 +1,128 @@
+#include "core/hierarchy.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace samya::core {
+namespace {
+
+/// Builds the paper's Fig 1 structure: eCommerce.com with org units and
+/// teams.
+struct Fig1 {
+  Fig1() : tree("eCommerce.com", 5000) {
+    retail = tree.AddNode("retail", tree.root()).value();
+    clothing = tree.AddNode("clothing", retail, 1500).value();
+    electronics = tree.AddNode("electronics", retail, 2000).value();
+    platform = tree.AddNode("platform", tree.root(), 2500).value();
+    search = tree.AddNode("search", platform).value();
+    payments = tree.AddNode("payments", platform, 800).value();
+  }
+  QuotaHierarchy tree;
+  OrgNodeId retail{}, clothing{}, electronics{}, platform{}, search{},
+      payments{};
+};
+
+TEST(QuotaHierarchyTest, ChargeAggregatesToRoot) {
+  Fig1 f;
+  ASSERT_TRUE(f.tree.Charge(f.clothing, 100).ok());
+  ASSERT_TRUE(f.tree.Charge(f.search, 50).ok());
+  EXPECT_EQ(f.tree.Usage(f.clothing).value(), 100);
+  EXPECT_EQ(f.tree.Usage(f.retail).value(), 100);
+  EXPECT_EQ(f.tree.Usage(f.platform).value(), 50);
+  EXPECT_EQ(f.tree.Usage(f.tree.root()).value(), 150);
+}
+
+TEST(QuotaHierarchyTest, SubLimitBlocksCharge) {
+  Fig1 f;
+  ASSERT_TRUE(f.tree.Charge(f.payments, 800).ok());
+  auto st = f.tree.Charge(f.payments, 1);
+  EXPECT_TRUE(st.IsResourceExhausted());
+  EXPECT_NE(st.message().find("payments"), std::string::npos);
+  // The failed charge changed nothing anywhere (all-or-nothing).
+  EXPECT_EQ(f.tree.Usage(f.tree.root()).value(), 800);
+}
+
+TEST(QuotaHierarchyTest, AncestorLimitBlocksDeepCharge) {
+  Fig1 f;
+  // platform limit is 2500; search has no own limit.
+  ASSERT_TRUE(f.tree.Charge(f.search, 2500).ok());
+  EXPECT_TRUE(f.tree.Charge(f.search, 1).IsResourceExhausted());
+}
+
+TEST(QuotaHierarchyTest, RootLimitBindsEverything) {
+  Fig1 f;
+  ASSERT_TRUE(f.tree.Charge(f.clothing, 1500).ok());
+  ASSERT_TRUE(f.tree.Charge(f.electronics, 2000).ok());
+  ASSERT_TRUE(f.tree.Charge(f.search, 1500).ok());  // root now full (5000)
+  EXPECT_TRUE(f.tree.Charge(f.search, 1).IsResourceExhausted());
+}
+
+TEST(QuotaHierarchyTest, RefundRestoresHeadroom) {
+  Fig1 f;
+  ASSERT_TRUE(f.tree.Charge(f.payments, 800).ok());
+  ASSERT_TRUE(f.tree.Refund(f.payments, 300).ok());
+  EXPECT_EQ(f.tree.Usage(f.payments).value(), 500);
+  EXPECT_EQ(f.tree.Usage(f.tree.root()).value(), 500);
+  EXPECT_TRUE(f.tree.Charge(f.payments, 300).ok());
+}
+
+TEST(QuotaHierarchyTest, RefundCannotGoNegative) {
+  Fig1 f;
+  ASSERT_TRUE(f.tree.Charge(f.clothing, 10).ok());
+  EXPECT_FALSE(f.tree.Refund(f.clothing, 11).ok());
+  EXPECT_FALSE(f.tree.Refund(f.electronics, 1).ok());
+}
+
+TEST(QuotaHierarchyTest, HeadroomIsTightestPathLimit) {
+  Fig1 f;
+  ASSERT_TRUE(f.tree.Charge(f.payments, 700).ok());
+  // payments headroom: min(800-700, 2500-700, 5000-700) = 100.
+  EXPECT_EQ(f.tree.Headroom(f.payments).value(), 100);
+  // search shares platform's pool: min(2500-700, 5000-700) = 1800.
+  EXPECT_EQ(f.tree.Headroom(f.search).value(), 1800);
+}
+
+TEST(QuotaHierarchyTest, ValidationErrors) {
+  QuotaHierarchy tree("root", 100);
+  EXPECT_FALSE(tree.AddNode("x", 99).ok());           // bad parent
+  EXPECT_FALSE(tree.AddNode("x", 0, -5).ok());        // negative limit
+  EXPECT_FALSE(tree.Charge(55, 1).ok());              // unknown node
+  EXPECT_FALSE(tree.Charge(0, 0).ok());               // non-positive amount
+  EXPECT_FALSE(tree.Usage(77).ok());
+}
+
+TEST(QuotaHierarchyTest, ToStringShowsTree) {
+  Fig1 f;
+  ASSERT_TRUE(f.tree.Charge(f.clothing, 42).ok());
+  const std::string s = f.tree.ToString();
+  EXPECT_NE(s.find("eCommerce.com: 42 / 5000"), std::string::npos);
+  EXPECT_NE(s.find("clothing: 42 / 1500"), std::string::npos);
+  EXPECT_NE(s.find("search: 0"), std::string::npos);
+}
+
+TEST(QuotaHierarchyTest, ChargeRefundFuzzKeepsAggregatesConsistent) {
+  Fig1 f;
+  Rng rng(99);
+  std::vector<OrgNodeId> leaves = {f.clothing, f.electronics, f.search,
+                                   f.payments};
+  std::vector<int64_t> held(leaves.size(), 0);
+  for (int iter = 0; iter < 5000; ++iter) {
+    const size_t pick = rng.NextUint64(leaves.size());
+    const int64_t amount = rng.UniformInt(1, 50);
+    if (rng.Bernoulli(0.55)) {
+      if (f.tree.Charge(leaves[pick], amount).ok()) held[pick] += amount;
+    } else if (held[pick] >= amount) {
+      ASSERT_TRUE(f.tree.Refund(leaves[pick], amount).ok());
+      held[pick] -= amount;
+    }
+    // Root aggregate equals the sum of leaf holdings at every step.
+    int64_t total = 0;
+    for (int64_t h : held) total += h;
+    ASSERT_EQ(f.tree.Usage(f.tree.root()).value(), total);
+    ASSERT_LE(total, 5000);
+  }
+}
+
+}  // namespace
+}  // namespace samya::core

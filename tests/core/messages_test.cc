@@ -1,0 +1,149 @@
+#include "core/messages.h"
+
+#include <gtest/gtest.h>
+
+namespace samya::core {
+namespace {
+
+StateList SampleList() {
+  StateList list;
+  list.entries.push_back(EntityState{0, 100, 10});
+  list.entries.push_back(EntityState{3, 0, 250});
+  list.entries.push_back(EntityState{4, 9999, 0});
+  return list;
+}
+
+template <typename M>
+M RoundTrip(const M& m) {
+  BufferWriter w;
+  m.EncodeTo(w);
+  BufferReader r(w.buffer());
+  auto decoded = M::DecodeFrom(r);
+  EXPECT_TRUE(decoded.ok());
+  EXPECT_TRUE(r.Done());
+  return *decoded;
+}
+
+TEST(CoreMessagesTest, EntityStateRoundTrip) {
+  EntityState s{7, -5, 123456789};
+  auto d = RoundTrip(s);
+  EXPECT_EQ(d, s);
+}
+
+TEST(CoreMessagesTest, StateListRoundTripAndHelpers) {
+  StateList list = SampleList();
+  auto d = RoundTrip(list);
+  EXPECT_EQ(d, list);
+  EXPECT_EQ(list.Participants(), (std::vector<sim::NodeId>{0, 3, 4}));
+  EXPECT_TRUE(list.Contains(3));
+  EXPECT_FALSE(list.Contains(2));
+  EXPECT_FALSE(list.empty());
+  EXPECT_TRUE(StateList{}.empty());
+  EXPECT_NE(list.ToString().find("(3:0/250)"), std::string::npos);
+}
+
+TEST(CoreMessagesTest, ElectionGetValueRoundTrip) {
+  ElectionGetValue m{42, Ballot{7, 2}};
+  auto d = RoundTrip(m);
+  EXPECT_EQ(d.instance, 42);
+  EXPECT_EQ(d.ballot, (Ballot{7, 2}));
+}
+
+TEST(CoreMessagesTest, ElectionOkValueAllKinds) {
+  for (auto kind : {ElectionOkValue::Kind::kOk,
+                    ElectionOkValue::Kind::kAlreadyDecided,
+                    ElectionOkValue::Kind::kBehind}) {
+    ElectionOkValue m;
+    m.instance = 5;
+    m.ballot = Ballot{3, 1};
+    m.kind = kind;
+    m.init_val = EntityState{1, 500, 20};
+    m.accept_val = SampleList();
+    m.accept_num = Ballot{2, 0};
+    m.decision = true;
+    m.decided_value = SampleList();
+    m.next_instance = 4;
+    auto d = RoundTrip(m);
+    EXPECT_EQ(static_cast<int>(d.kind), static_cast<int>(kind));
+    EXPECT_EQ(d.init_val, m.init_val);
+    EXPECT_EQ(d.accept_val, m.accept_val);
+    EXPECT_TRUE(d.decision);
+    EXPECT_EQ(d.next_instance, 4);
+  }
+}
+
+TEST(CoreMessagesTest, AcceptAndDecisionRoundTrip) {
+  AcceptValue a{9, Ballot{4, 3}, SampleList(), true};
+  auto da = RoundTrip(a);
+  EXPECT_EQ(da.value, a.value);
+  EXPECT_TRUE(da.decision);
+
+  AcceptOk ok{9, Ballot{4, 3}};
+  auto dok = RoundTrip(ok);
+  EXPECT_EQ(dok.instance, 9);
+
+  DecisionMsg dec{9, Ballot{4, 3}, SampleList()};
+  auto ddec = RoundTrip(dec);
+  EXPECT_EQ(ddec.value, dec.value);
+}
+
+TEST(CoreMessagesTest, RecoveryMessagesRoundTrip) {
+  Discard disc{11, Ballot{1, 0}};
+  EXPECT_EQ(RoundTrip(disc).instance, 11);
+
+  StatusQuery q{MakeAnyInstance(3, 7)};
+  EXPECT_EQ(RoundTrip(q).instance, MakeAnyInstance(3, 7));
+
+  StatusReply rep;
+  rep.instance = 2;
+  rep.kind = StatusReply::Kind::kAccepted;
+  rep.value = SampleList();
+  auto drep = RoundTrip(rep);
+  EXPECT_EQ(static_cast<int>(drep.kind),
+            static_cast<int>(StatusReply::Kind::kAccepted));
+  EXPECT_EQ(drep.value, rep.value);
+}
+
+TEST(CoreMessagesTest, ReadMessagesRoundTrip) {
+  ReadQuery q{77};
+  EXPECT_EQ(RoundTrip(q).read_id, 77u);
+  ReadReply r{77, -12};
+  auto d = RoundTrip(r);
+  EXPECT_EQ(d.tokens_left, -12);
+}
+
+TEST(CoreMessagesTest, AnyInstanceIdsAreUniquePerLeaderSeq) {
+  EXPECT_NE(MakeAnyInstance(1, 0), MakeAnyInstance(2, 0));
+  EXPECT_NE(MakeAnyInstance(1, 0), MakeAnyInstance(1, 1));
+  EXPECT_EQ(MakeAnyInstance(3, 9), MakeAnyInstance(3, 9));
+}
+
+TEST(CoreMessagesTest, CorruptKindRejected) {
+  BufferWriter w;
+  w.PutVarintSigned(1);   // instance
+  Ballot{1, 1}.EncodeTo(w);
+  w.PutU8(99);            // invalid kind
+  BufferReader r(w.buffer());
+  EXPECT_FALSE(ElectionOkValue::DecodeFrom(r).ok());
+}
+
+TEST(CoreMessagesTest, TruncatedMessageRejected) {
+  AcceptValue a{9, Ballot{4, 3}, SampleList(), true};
+  BufferWriter w;
+  a.EncodeTo(w);
+  auto bytes = w.buffer();
+  bytes.resize(bytes.size() / 2);
+  BufferReader r(bytes);
+  EXPECT_FALSE(AcceptValue::DecodeFrom(r).ok());
+}
+
+TEST(CoreMessagesTest, BallotOrdering) {
+  EXPECT_LT((Ballot{1, 2}), (Ballot{2, 0}));
+  EXPECT_LT((Ballot{1, 1}), (Ballot{1, 2}));
+  EXPECT_GE((Ballot{2, 0}), (Ballot{1, 5}));
+  EXPECT_EQ((Ballot{3, 3}), (Ballot{3, 3}));
+  EXPECT_NE((Ballot{3, 3}), (Ballot{3, 4}));
+}
+
+}  // namespace
+}  // namespace samya::core

@@ -1,0 +1,193 @@
+#include "core/reallocator.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/random.h"
+
+namespace samya::core {
+namespace {
+
+StateList MakeList(std::vector<std::array<int64_t, 2>> tl_tw) {
+  StateList list;
+  sim::NodeId id = 0;
+  for (const auto& [tl, tw] : tl_tw) {
+    list.entries.push_back(EntityState{id++, tl, tw});
+  }
+  return list;
+}
+
+int64_t TotalGranted(const std::vector<Allocation>& allocs) {
+  int64_t sum = 0;
+  for (const auto& a : allocs) sum += a.tokens_granted;
+  return sum;
+}
+
+TEST(GreedyReallocatorTest, AllSatisfiedWithLeftoverSplitEqually) {
+  // Spare = 100+200+300 = 600; wanted = 50+100+0 = 150; leftover 450/3 each.
+  GreedyReallocator realloc;
+  auto allocs = realloc.Reallocate(MakeList({{100, 50}, {200, 100}, {300, 0}}));
+  ASSERT_EQ(allocs.size(), 3u);
+  EXPECT_EQ(allocs[0].tokens_granted, 50 + 150);
+  EXPECT_EQ(allocs[1].tokens_granted, 100 + 150);
+  EXPECT_EQ(allocs[2].tokens_granted, 0 + 150);
+  EXPECT_EQ(TotalGranted(allocs), 600);
+  for (const auto& a : allocs) EXPECT_FALSE(a.wanted_rejected);
+}
+
+TEST(GreedyReallocatorTest, RejectsSmallestWantsFirst) {
+  // Spare = 100; wants 10, 40, 90 (total 140 > 100). Ascending rejection
+  // drops the 10 first (140-10=130>100), then the 40 (90<=100): only the 90
+  // survives.
+  GreedyReallocator realloc;
+  auto allocs = realloc.Reallocate(MakeList({{50, 10}, {30, 40}, {20, 90}}));
+  EXPECT_TRUE(allocs[0].wanted_rejected);
+  EXPECT_TRUE(allocs[1].wanted_rejected);
+  EXPECT_FALSE(allocs[2].wanted_rejected);
+  // Survivor granted in full, leftover 10 split (4,3,3 by ascending id).
+  EXPECT_EQ(allocs[2].tokens_granted, 90 + 3);
+  EXPECT_EQ(TotalGranted(allocs), 100);
+}
+
+TEST(GreedyReallocatorTest, MaximisesTokenUsageNotRequestCount) {
+  // Spare 100, wants 60 and 70: greedy keeps the 70 (more usage), rejecting
+  // the smaller 60 even though both can't fit and each alone would fit.
+  GreedyReallocator realloc;
+  auto allocs = realloc.Reallocate(MakeList({{50, 60}, {50, 70}}));
+  EXPECT_TRUE(allocs[0].wanted_rejected);
+  EXPECT_FALSE(allocs[1].wanted_rejected);
+  EXPECT_GE(allocs[1].tokens_granted, 70);
+}
+
+TEST(GreedyReallocatorTest, RemainderGoesToLowestSiteIds) {
+  GreedyReallocator realloc;
+  // Spare 10, no wants: 10/3 = 3 each, remainder 1 to site 0.
+  auto allocs = realloc.Reallocate(MakeList({{10, 0}, {0, 0}, {0, 0}}));
+  EXPECT_EQ(allocs[0].tokens_granted, 4);
+  EXPECT_EQ(allocs[1].tokens_granted, 3);
+  EXPECT_EQ(allocs[2].tokens_granted, 3);
+}
+
+TEST(GreedyReallocatorTest, SingleSiteKeepsEverything) {
+  GreedyReallocator realloc;
+  auto allocs = realloc.Reallocate(MakeList({{42, 7}}));
+  ASSERT_EQ(allocs.size(), 1u);
+  EXPECT_EQ(allocs[0].tokens_granted, 42);
+}
+
+TEST(GreedyReallocatorTest, ZeroSpareRejectsEverything) {
+  GreedyReallocator realloc;
+  auto allocs = realloc.Reallocate(MakeList({{0, 10}, {0, 20}}));
+  EXPECT_EQ(TotalGranted(allocs), 0);
+  EXPECT_TRUE(allocs[0].wanted_rejected);
+  EXPECT_TRUE(allocs[1].wanted_rejected);
+}
+
+TEST(MaxRequestsReallocatorTest, RejectsLargestFirst) {
+  // Spare 100, wants 60 and 70: this policy keeps the 60.
+  MaxRequestsReallocator realloc;
+  auto allocs = realloc.Reallocate(MakeList({{50, 60}, {50, 70}}));
+  EXPECT_FALSE(allocs[0].wanted_rejected);
+  EXPECT_TRUE(allocs[1].wanted_rejected);
+}
+
+TEST(ProportionalReallocatorTest, ScalesProRata) {
+  // Spare 100, wants 100 and 300: pro-rata grants 25 and 75.
+  ProportionalReallocator realloc;
+  auto allocs = realloc.Reallocate(MakeList({{40, 100}, {60, 300}}));
+  EXPECT_EQ(allocs[0].tokens_granted, 25);
+  EXPECT_EQ(allocs[1].tokens_granted, 75);
+  EXPECT_EQ(TotalGranted(allocs), 100);
+}
+
+// Conservation property: under random inputs, every strategy hands out
+// exactly the pooled spare, never a token more or less, and never a negative
+// grant. This is invariant 3 of DESIGN.md.
+class ReallocatorPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ReallocatorPropertyTest, ConservesTokens) {
+  Rng rng(GetParam());
+  GreedyReallocator greedy;
+  MaxRequestsReallocator max_requests;
+  ProportionalReallocator proportional;
+  const Reallocator* strategies[] = {&greedy, &max_requests, &proportional};
+
+  for (int iter = 0; iter < 300; ++iter) {
+    StateList list;
+    const int n = static_cast<int>(rng.UniformInt(1, 8));
+    int64_t spare = 0;
+    for (int i = 0; i < n; ++i) {
+      EntityState s;
+      s.site = i;
+      s.tokens_left = rng.UniformInt(0, 2000);
+      s.tokens_wanted = rng.UniformInt(0, 3000);
+      spare += s.tokens_left;
+      list.entries.push_back(s);
+    }
+    for (const Reallocator* strategy : strategies) {
+      auto allocs = strategy->Reallocate(list);
+      ASSERT_EQ(allocs.size(), static_cast<size_t>(n));
+      int64_t granted = 0;
+      for (const auto& a : allocs) {
+        ASSERT_GE(a.tokens_granted, 0);
+        granted += a.tokens_granted;
+      }
+      ASSERT_EQ(granted, spare) << "strategy leaked or minted tokens";
+    }
+  }
+}
+
+TEST_P(ReallocatorPropertyTest, DeterministicAcrossReplicas) {
+  // Two sites running Algorithm 2 on the same agreed list must produce the
+  // same allocations — otherwise the dis-aggregated pools would diverge.
+  Rng rng(GetParam() + 1000);
+  GreedyReallocator a, b;
+  for (int iter = 0; iter < 100; ++iter) {
+    StateList list;
+    const int n = static_cast<int>(rng.UniformInt(1, 6));
+    for (int i = 0; i < n; ++i) {
+      list.entries.push_back(EntityState{
+          i, rng.UniformInt(0, 500), rng.UniformInt(0, 800)});
+    }
+    auto ra = a.Reallocate(list);
+    auto rb = b.Reallocate(list);
+    for (size_t i = 0; i < ra.size(); ++i) {
+      ASSERT_EQ(ra[i].tokens_granted, rb[i].tokens_granted);
+      ASSERT_EQ(ra[i].wanted_rejected, rb[i].wanted_rejected);
+    }
+  }
+}
+
+TEST_P(ReallocatorPropertyTest, SatisfiedWhenDemandFits) {
+  // Whenever total wanted <= spare, every request is granted in full.
+  Rng rng(GetParam() + 2000);
+  GreedyReallocator realloc;
+  for (int iter = 0; iter < 100; ++iter) {
+    StateList list;
+    const int n = static_cast<int>(rng.UniformInt(1, 6));
+    int64_t spare = 0;
+    for (int i = 0; i < n; ++i) {
+      EntityState s{i, rng.UniformInt(100, 500), 0};
+      spare += s.tokens_left;
+      list.entries.push_back(s);
+    }
+    // Distribute wants that sum to at most the spare.
+    int64_t budget = spare;
+    for (auto& s : list.entries) {
+      s.tokens_wanted = rng.UniformInt(0, budget / 2);
+      budget -= s.tokens_wanted;
+    }
+    auto allocs = realloc.Reallocate(list);
+    for (size_t i = 0; i < allocs.size(); ++i) {
+      ASSERT_FALSE(allocs[i].wanted_rejected);
+      ASSERT_GE(allocs[i].tokens_granted, list.entries[i].tokens_wanted);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReallocatorPropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace
+}  // namespace samya::core

@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include "harness/experiment.h"
+
+namespace samya::harness {
+namespace {
+
+ExperimentOptions FailureOptions(SystemKind system) {
+  ExperimentOptions opts;
+  opts.system = system;
+  opts.duration = Minutes(6);
+  opts.seed = 99;
+  opts.trace.days = 3;
+  return opts;
+}
+
+/// Crashes region r's site and its client together (the Fig 3c protocol) at
+/// time t.
+void CrashRegion(Experiment& e, int region, SimTime t) {
+  // Site ids are 0..num_sites-1 round-robin over regions; with 5 sites the
+  // region's site id equals the region index. The matching client is the
+  // region's entry in client_ids().
+  e.faults().CrashAt(t, e.server_ids()[static_cast<size_t>(region)]);
+  e.faults().CrashAt(t, e.client_ids()[static_cast<size_t>(region)]);
+}
+
+TEST(FailureTest, MultiPaxSysStopsAfterMajorityCrash) {
+  Experiment e(FailureOptions(SystemKind::kMultiPaxSys));
+  e.Setup();
+  // Crash 3 of 5 replicas at t=2min.
+  for (int i = 0; i < 3; ++i) {
+    e.faults().CrashAt(Minutes(2), e.server_ids()[static_cast<size_t>(i)]);
+  }
+  auto result = e.Run();
+  // Throughput before the crash, none after (allowing the election window).
+  EXPECT_GT(result.throughput.MeanRate(0, Minutes(2)), 1.0);
+  EXPECT_LT(result.throughput.MeanRate(Minutes(3), Minutes(6)), 0.5);
+}
+
+TEST(FailureTest, SamyaAnyKeepsServingWithOneSiteLeft) {
+  Experiment e(FailureOptions(SystemKind::kSamyaAny));
+  e.Setup();
+  for (int r = 0; r < 4; ++r) {
+    CrashRegion(e, r, Minutes(1) + Seconds(45) * r);
+  }
+  auto result = e.Run();
+  // The last region keeps committing to the end.
+  EXPECT_GT(result.throughput.MeanRate(Minutes(5), Minutes(6)), 1.0);
+}
+
+TEST(FailureTest, SamyaMajorityServesLocallyWithoutMajority) {
+  Experiment e(FailureOptions(SystemKind::kSamyaMajority));
+  e.Setup();
+  for (int r = 0; r < 3; ++r) {
+    CrashRegion(e, r, Minutes(1));
+  }
+  auto result = e.Run();
+  // Redistribution is impossible (majority dead) but local serving persists.
+  EXPECT_GT(result.throughput.MeanRate(Minutes(2), Minutes(6)), 1.0);
+}
+
+TEST(FailureTest, PartitionBehaviourMatchesPaper) {
+  // Fig 3d: a 3-2 partition. MultiPaxSys serves only the majority side;
+  // both Samya variants keep serving everywhere; Avantan[*] can even
+  // redistribute inside the minority.
+  auto run = [](SystemKind system) {
+    Experiment e(FailureOptions(system));
+    e.Setup();
+    std::vector<sim::NodeId> group_a, group_b;
+    // Regions 0,1,2 (+their clients/AMs) on one side; 3,4 on the other.
+    for (size_t i = 0; i < e.cluster().num_nodes(); ++i) {
+      const auto region = e.cluster().node(static_cast<sim::NodeId>(i))->region();
+      const bool side_b = region == sim::Region::kAustraliaSoutheast1 ||
+                          region == sim::Region::kSouthAmericaEast1;
+      (side_b ? group_b : group_a).push_back(static_cast<sim::NodeId>(i));
+    }
+    e.faults().PartitionAt(Minutes(1), {group_a, group_b});
+    return e.Run();
+  };
+
+  auto samya_any = run(SystemKind::kSamyaAny);
+  auto multipax = run(SystemKind::kMultiPaxSys);
+  // During the partitioned window Samya's committed throughput dwarfs
+  // MultiPaxSys (which loses its minority-side clients entirely and is
+  // replication-bound on the majority side).
+  EXPECT_GT(samya_any.throughput.MeanRate(Minutes(2), Minutes(6)),
+            5 * multipax.throughput.MeanRate(Minutes(2), Minutes(6)));
+}
+
+TEST(FailureTest, SamyaRecoversAfterCrashAndHeal) {
+  Experiment e(FailureOptions(SystemKind::kSamyaMajority));
+  e.Setup();
+  // Crash one site mid-run and recover it; conservation must hold at the end.
+  const sim::NodeId site = e.server_ids()[2];
+  e.faults().CrashAt(Minutes(2), site);
+  e.faults().RecoverAt(Minutes(3), site);
+  auto result = e.Run();
+  EXPECT_GT(result.aggregate.TotalCommitted(), 1000u);
+  EXPECT_LE(e.TotalSiteTokens() + e.NetCommittedAcquires(), 5000);
+  // Post-recovery, the full pool is accounted for again (instances settle).
+  EXPECT_EQ(e.TotalSiteTokens() + e.NetCommittedAcquires(), 5000);
+}
+
+}  // namespace
+}  // namespace samya::harness

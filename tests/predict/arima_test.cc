@@ -1,0 +1,122 @@
+#include "predict/arima.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+
+namespace samya::predict {
+namespace {
+
+// y_t = c + phi*y_{t-1} + noise: ARIMA(1,0,0) should recover phi.
+TEST(ArimaTest, RecoversAr1Coefficient) {
+  Rng rng(11);
+  const double phi = 0.7, c = 2.0;
+  std::vector<double> y = {c / (1 - phi)};
+  for (int i = 0; i < 2000; ++i) {
+    y.push_back(c + phi * y.back() + rng.Gaussian(0, 0.5));
+  }
+  ArimaOptions opts;
+  opts.p = 1;
+  opts.d = 0;
+  opts.q = 0;
+  ArimaPredictor model(opts);
+  ASSERT_TRUE(model.Train(y).ok());
+  EXPECT_NEAR(model.params()[1], phi, 0.06);  // params = [c, phi]
+  EXPECT_NEAR(model.params()[0], c, c * 0.25);
+}
+
+TEST(ArimaTest, ForecastBeatsRandomWalkOnAr1) {
+  Rng rng(13);
+  const double phi = -0.6;  // strong negative autocorrelation
+  std::vector<double> y = {0.0};
+  for (int i = 0; i < 3000; ++i) {
+    y.push_back(10 + phi * (y.back() - 10) + rng.Gaussian(0, 1.0));
+  }
+  const size_t cut = 2400;
+  std::vector<double> train(y.begin(), y.begin() + cut);
+  std::vector<double> test(y.begin() + cut, y.end());
+
+  ArimaOptions opts;
+  opts.p = 2;
+  opts.d = 0;
+  opts.q = 1;
+  ArimaPredictor arima(opts);
+  ASSERT_TRUE(arima.Train(train).ok());
+  RandomWalkPredictor walk;
+  ASSERT_TRUE(walk.Train(train).ok());
+
+  double arima_mae = 0, walk_mae = 0;
+  for (double actual : test) {
+    arima_mae += std::abs(arima.PredictNext() - actual);
+    walk_mae += std::abs(walk.PredictNext() - actual);
+    arima.Observe(actual);
+    walk.Observe(actual);
+  }
+  // With phi=-0.6 the random walk is badly wrong-footed.
+  EXPECT_LT(arima_mae, walk_mae * 0.8);
+}
+
+TEST(ArimaTest, DifferencingHandlesTrend) {
+  // Linear trend + noise: ARIMA(1,1,0) should track it; prediction error
+  // stays near the noise floor rather than growing with the trend.
+  Rng rng(17);
+  std::vector<double> y;
+  for (int i = 0; i < 1500; ++i) {
+    y.push_back(0.5 * i + rng.Gaussian(0, 1.0));
+  }
+  ArimaOptions opts;
+  opts.p = 1;
+  opts.d = 1;
+  opts.q = 0;
+  ArimaPredictor model(opts);
+  std::vector<double> train(y.begin(), y.begin() + 1200);
+  ASSERT_TRUE(model.Train(train).ok());
+  double mae = 0;
+  for (size_t i = 1200; i < y.size(); ++i) {
+    mae += std::abs(model.PredictNext() - y[i]);
+    model.Observe(y[i]);
+  }
+  mae /= 300;
+  EXPECT_LT(mae, 2.5);  // noise sigma is 1; trend alone would exceed this
+}
+
+TEST(ArimaTest, RejectsTooShortSeries) {
+  ArimaPredictor model;
+  EXPECT_FALSE(model.Train({1, 2, 3}).ok());
+}
+
+TEST(ArimaTest, RejectsInvalidOrders) {
+  ArimaOptions opts;
+  opts.d = 2;
+  ArimaPredictor model(opts);
+  std::vector<double> y(100, 1.0);
+  EXPECT_FALSE(model.Train(y).ok());
+}
+
+TEST(ArimaTest, PredictionIsNonNegative) {
+  Rng rng(23);
+  std::vector<double> y;
+  for (int i = 0; i < 500; ++i) y.push_back(std::max(0.0, rng.Gaussian(1, 2)));
+  ArimaPredictor model;
+  ASSERT_TRUE(model.Train(y).ok());
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_GE(model.PredictNext(), 0.0);
+    model.Observe(0.0);
+  }
+}
+
+TEST(ArimaTest, DeterministicAcrossInstances) {
+  Rng rng(29);
+  std::vector<double> y;
+  for (int i = 0; i < 600; ++i) y.push_back(rng.Gaussian(5, 1));
+  ArimaPredictor a, b;
+  ASSERT_TRUE(a.Train(y).ok());
+  ASSERT_TRUE(b.Train(y).ok());
+  EXPECT_EQ(a.params(), b.params());
+  EXPECT_DOUBLE_EQ(a.PredictNext(), b.PredictNext());
+}
+
+}  // namespace
+}  // namespace samya::predict

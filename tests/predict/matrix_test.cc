@@ -1,0 +1,78 @@
+#include "predict/matrix.h"
+
+#include <gtest/gtest.h>
+
+namespace samya::predict {
+namespace {
+
+TEST(MatrixTest, MultiplyAdd) {
+  Matrix m(2, 3);
+  // [1 2 3; 4 5 6]
+  m.at(0, 0) = 1; m.at(0, 1) = 2; m.at(0, 2) = 3;
+  m.at(1, 0) = 4; m.at(1, 1) = 5; m.at(1, 2) = 6;
+  Vector x = {1, 0, -1};
+  Vector y = {10, 20};
+  m.MultiplyAdd(x, y);
+  EXPECT_DOUBLE_EQ(y[0], 10 + (1 - 3));
+  EXPECT_DOUBLE_EQ(y[1], 20 + (4 - 6));
+}
+
+TEST(MatrixTest, TransposeMultiplyAdd) {
+  Matrix m(2, 3);
+  m.at(0, 0) = 1; m.at(0, 1) = 2; m.at(0, 2) = 3;
+  m.at(1, 0) = 4; m.at(1, 1) = 5; m.at(1, 2) = 6;
+  Vector x = {1, 2};  // len = rows
+  Vector y = {0, 0, 0};
+  m.TransposeMultiplyAdd(x, y);
+  EXPECT_DOUBLE_EQ(y[0], 1 + 8);
+  EXPECT_DOUBLE_EQ(y[1], 2 + 10);
+  EXPECT_DOUBLE_EQ(y[2], 3 + 12);
+}
+
+TEST(MatrixTest, AddOuter) {
+  Matrix m(2, 2);
+  m.AddOuter({1, 2}, {3, 4}, 2.0);
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 6);
+  EXPECT_DOUBLE_EQ(m.at(0, 1), 8);
+  EXPECT_DOUBLE_EQ(m.at(1, 0), 12);
+  EXPECT_DOUBLE_EQ(m.at(1, 1), 16);
+}
+
+TEST(MatrixTest, AxpyScaleNorm) {
+  Matrix a(1, 2), b(1, 2);
+  a.at(0, 0) = 1; a.at(0, 1) = 2;
+  b.at(0, 0) = 10; b.at(0, 1) = 20;
+  a.Axpy(b, 0.1);
+  EXPECT_DOUBLE_EQ(a.at(0, 0), 2);
+  EXPECT_DOUBLE_EQ(a.at(0, 1), 4);
+  EXPECT_DOUBLE_EQ(a.SquaredNorm(), 20);
+  a.Scale(0.5);
+  EXPECT_DOUBLE_EQ(a.at(0, 1), 2);
+  a.Zero();
+  EXPECT_DOUBLE_EQ(a.SquaredNorm(), 0);
+}
+
+TEST(MatrixTest, RandomInitWithinScale) {
+  Rng rng(3);
+  Matrix m(10, 10);
+  m.RandomInit(rng, 0.5);
+  for (double v : m.data()) {
+    EXPECT_GE(v, -0.5);
+    EXPECT_LE(v, 0.5);
+  }
+  // Not all zero.
+  EXPECT_GT(m.SquaredNorm(), 0.0);
+}
+
+TEST(VectorOpsTest, Basics) {
+  Vector a = {1, 2, 3}, b = {4, 5, 6};
+  EXPECT_DOUBLE_EQ(Dot(a, b), 32);
+  AxpyV(b, 2.0, a);
+  EXPECT_DOUBLE_EQ(a[2], 15);
+  EXPECT_DOUBLE_EQ(SquaredNormV(b), 77);
+  ScaleV(b, 0.0);
+  EXPECT_DOUBLE_EQ(SquaredNormV(b), 0);
+}
+
+}  // namespace
+}  // namespace samya::predict

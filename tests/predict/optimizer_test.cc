@@ -1,0 +1,69 @@
+#include "predict/optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace samya::predict {
+namespace {
+
+TEST(NelderMeadTest, MinimizesQuadraticBowl) {
+  auto f = [](const Vector& x) {
+    return (x[0] - 3) * (x[0] - 3) + 2 * (x[1] + 1) * (x[1] + 1);
+  };
+  auto res = NelderMead(f, {0, 0});
+  EXPECT_NEAR(res.x[0], 3.0, 1e-3);
+  EXPECT_NEAR(res.x[1], -1.0, 1e-3);
+  EXPECT_NEAR(res.fx, 0.0, 1e-6);
+}
+
+TEST(NelderMeadTest, MinimizesRosenbrock) {
+  auto f = [](const Vector& x) {
+    const double a = 1 - x[0];
+    const double b = x[1] - x[0] * x[0];
+    return a * a + 100 * b * b;
+  };
+  NelderMeadOptions opts;
+  opts.max_iterations = 5000;
+  opts.tolerance = 1e-14;
+  auto res = NelderMead(f, {-1.2, 1.0}, opts);
+  EXPECT_NEAR(res.x[0], 1.0, 0.01);
+  EXPECT_NEAR(res.x[1], 1.0, 0.02);
+}
+
+TEST(NelderMeadTest, OneDimensional) {
+  auto f = [](const Vector& x) { return std::cos(x[0]); };
+  auto res = NelderMead(f, {3.0});  // near pi
+  EXPECT_NEAR(res.x[0], M_PI, 1e-3);
+  EXPECT_NEAR(res.fx, -1.0, 1e-6);
+}
+
+TEST(NelderMeadTest, RespectsIterationCap) {
+  auto f = [](const Vector& x) { return x[0] * x[0]; };
+  NelderMeadOptions opts;
+  opts.max_iterations = 3;
+  auto res = NelderMead(f, {100.0}, opts);
+  EXPECT_LE(res.iterations, 3);
+}
+
+TEST(AdamTest, ConvergesOnQuadratic) {
+  Vector params = {5.0, -5.0};
+  AdamState adam(2, /*lr=*/0.1);
+  for (int i = 0; i < 2000; ++i) {
+    Vector grad = {2 * (params[0] - 1), 2 * (params[1] - 2)};
+    adam.Update(params, grad);
+  }
+  EXPECT_NEAR(params[0], 1.0, 0.01);
+  EXPECT_NEAR(params[1], 2.0, 0.01);
+}
+
+TEST(AdamTest, StepBoundedByLearningRate) {
+  // Adam's per-step displacement is ~lr regardless of gradient magnitude.
+  Vector params = {0.0};
+  AdamState adam(1, /*lr=*/0.05);
+  adam.Update(params, {1e9});
+  EXPECT_NEAR(params[0], -0.05, 0.01);
+}
+
+}  // namespace
+}  // namespace samya::predict

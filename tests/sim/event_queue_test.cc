@@ -1,0 +1,62 @@
+#include "sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace samya::sim {
+namespace {
+
+TEST(EventQueueTest, PopsInTimeOrder) {
+  EventQueue q;
+  q.Push(30, 0, [] {});
+  q.Push(10, 1, [] {});
+  q.Push(20, 2, [] {});
+  EXPECT_EQ(q.size(), 3u);
+  EXPECT_EQ(q.NextTime(), 10);
+  EXPECT_EQ(q.Pop().time, 10);
+  EXPECT_EQ(q.Pop().time, 20);
+  EXPECT_EQ(q.Pop().time, 30);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueTest, TiesBreakBySequence) {
+  EventQueue q;
+  for (uint64_t seq = 0; seq < 50; ++seq) q.Push(5, seq, [] {});
+  for (uint64_t seq = 0; seq < 50; ++seq) {
+    EXPECT_EQ(q.Pop().seq, seq);
+  }
+}
+
+TEST(EventQueueTest, CallbacksSurviveHeapMoves) {
+  EventQueue q;
+  int sum = 0;
+  for (int i = 1; i <= 10; ++i) {
+    q.Push(100 - i, static_cast<uint64_t>(i), [&sum, i] { sum += i; });
+  }
+  while (!q.empty()) q.Pop().fn();
+  EXPECT_EQ(sum, 55);
+}
+
+TEST(EventQueueTest, RandomizedOrderingProperty) {
+  Rng rng(21);
+  EventQueue q;
+  uint64_t seq = 0;
+  for (int i = 0; i < 2000; ++i) {
+    q.Push(rng.UniformInt(0, 500), seq++, [] {});
+  }
+  SimTime prev = -1;
+  uint64_t prev_seq = 0;
+  while (!q.empty()) {
+    Event e = q.Pop();
+    ASSERT_GE(e.time, prev);
+    if (e.time == prev) {
+      ASSERT_GT(e.seq, prev_seq);
+    }
+    prev = e.time;
+    prev_seq = e.seq;
+  }
+}
+
+}  // namespace
+}  // namespace samya::sim

@@ -1,0 +1,271 @@
+#include "sim/network.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sim/cluster.h"
+#include "sim/fault_injector.h"
+
+namespace samya::sim {
+namespace {
+
+constexpr uint32_t kPing = 1;
+constexpr uint32_t kPong = 2;
+
+/// Test node: replies kPong to kPing, records everything received.
+class EchoNode : public Node {
+ public:
+  EchoNode(NodeId id, Region region) : Node(id, region) {}
+
+  void HandleMessage(NodeId from, uint32_t type, BufferReader& r) override {
+    std::string body = r.GetString().value();
+    received.push_back({from, type, body, Now()});
+    if (type == kPing) {
+      BufferWriter w;
+      w.PutString(body);
+      Send(from, kPong, w);
+    }
+  }
+
+  void SendPing(NodeId to, const std::string& body) {
+    BufferWriter w;
+    w.PutString(body);
+    Send(to, kPing, w);
+  }
+
+  void HandleTimer(uint64_t token) override { timers.push_back(token); }
+  void HandleCrash() override { ++crashes; }
+  void HandleRecover() override { ++recoveries; }
+
+  using Node::CancelTimer;
+  using Node::SetTimer;
+
+  struct Received {
+    NodeId from;
+    uint32_t type;
+    std::string body;
+    SimTime at;
+  };
+  std::vector<Received> received;
+  std::vector<uint64_t> timers;
+  int crashes = 0;
+  int recoveries = 0;
+};
+
+class NetworkTest : public ::testing::Test {
+ protected:
+  NetworkTest() : cluster_(/*seed=*/99) {
+    a_ = cluster_.AddNode<EchoNode>(Region::kUsWest1);
+    b_ = cluster_.AddNode<EchoNode>(Region::kEuropeWest2);
+    c_ = cluster_.AddNode<EchoNode>(Region::kAsiaEast2);
+  }
+
+  Cluster cluster_;
+  EchoNode* a_;
+  EchoNode* b_;
+  EchoNode* c_;
+};
+
+TEST_F(NetworkTest, DeliversWithGeoLatency) {
+  a_->SendPing(b_->id(), "hello");
+  cluster_.env().RunUntilIdle();
+  ASSERT_EQ(b_->received.size(), 1u);
+  EXPECT_EQ(b_->received[0].from, a_->id());
+  EXPECT_EQ(b_->received[0].body, "hello");
+  // us-west1 -> europe-west2 one-way base is 65ms; jitter adds a bit.
+  EXPECT_GE(b_->received[0].at, Millis(65));
+  EXPECT_LE(b_->received[0].at, Millis(90));
+  // And the pong came back.
+  ASSERT_EQ(a_->received.size(), 1u);
+  EXPECT_EQ(a_->received[0].type, kPong);
+  EXPECT_GE(a_->received[0].at, Millis(130));
+}
+
+TEST_F(NetworkTest, IntraRegionIsSubMillisecondBase) {
+  LatencyModel m;
+  EXPECT_LT(m.Base(Region::kUsWest1, Region::kUsWest1), Millis(1));
+  EXPECT_EQ(m.Base(Region::kUsWest1, Region::kAsiaEast2),
+            m.Base(Region::kAsiaEast2, Region::kUsWest1));
+}
+
+TEST_F(NetworkTest, CrashedReceiverDropsMessages) {
+  cluster_.net().Crash(b_->id());
+  a_->SendPing(b_->id(), "x");
+  cluster_.env().RunUntilIdle();
+  EXPECT_TRUE(b_->received.empty());
+  // Liveness is checked at delivery time, so the drop is attributed there.
+  EXPECT_EQ(cluster_.net().stats().messages_dropped_crashed, 1u);
+  EXPECT_EQ(b_->crashes, 1);
+}
+
+TEST_F(NetworkTest, CrashedSenderSendsNothing) {
+  cluster_.net().Crash(a_->id());
+  a_->SendPing(b_->id(), "x");
+  cluster_.env().RunUntilIdle();
+  EXPECT_TRUE(b_->received.empty());
+  EXPECT_EQ(cluster_.net().stats().messages_sent, 0u);
+}
+
+TEST_F(NetworkTest, RecoveryRestoresDelivery) {
+  cluster_.net().Crash(b_->id());
+  cluster_.net().Recover(b_->id());
+  EXPECT_EQ(b_->recoveries, 1);
+  a_->SendPing(b_->id(), "back");
+  cluster_.env().RunUntilIdle();
+  ASSERT_EQ(b_->received.size(), 1u);
+}
+
+TEST_F(NetworkTest, InFlightMessageToCrashingNodeIsLost) {
+  a_->SendPing(b_->id(), "doomed");
+  // Crash b before the ~65ms delivery.
+  cluster_.env().Schedule(Millis(10), [&] { cluster_.net().Crash(b_->id()); });
+  cluster_.env().RunUntilIdle();
+  EXPECT_TRUE(b_->received.empty());
+  EXPECT_EQ(cluster_.net().stats().messages_dropped_crashed, 1u);
+}
+
+TEST_F(NetworkTest, PartitionCutsCrossGroupTraffic) {
+  cluster_.net().SetPartition({{a_->id(), c_->id()}, {b_->id()}});
+  a_->SendPing(b_->id(), "cut");
+  a_->SendPing(c_->id(), "ok");
+  cluster_.env().RunUntilIdle();
+  EXPECT_TRUE(b_->received.empty());
+  ASSERT_EQ(c_->received.size(), 1u);
+  EXPECT_EQ(cluster_.net().stats().messages_dropped_partition, 1u);
+
+  cluster_.net().ClearPartition();
+  a_->SendPing(b_->id(), "healed");
+  cluster_.env().RunUntilIdle();
+  ASSERT_EQ(b_->received.size(), 1u);
+  EXPECT_EQ(b_->received[0].body, "healed");
+}
+
+TEST_F(NetworkTest, UnlistedNodesShareImplicitGroup) {
+  cluster_.net().SetPartition({{a_->id()}});
+  // b and c were not listed: they end up together, cut off from a.
+  b_->SendPing(c_->id(), "peers");
+  b_->SendPing(a_->id(), "cut");
+  cluster_.env().RunUntilIdle();
+  ASSERT_EQ(c_->received.size(), 1u);
+  EXPECT_TRUE(a_->received.empty());
+}
+
+TEST_F(NetworkTest, MessageLossRate) {
+  cluster_.net().set_loss_rate(1.0);
+  a_->SendPing(b_->id(), "lost");
+  cluster_.env().RunUntilIdle();
+  EXPECT_TRUE(b_->received.empty());
+  EXPECT_EQ(cluster_.net().stats().messages_dropped_loss, 1u);
+
+  cluster_.net().set_loss_rate(0.0);
+  a_->SendPing(b_->id(), "found");
+  cluster_.env().RunUntilIdle();
+  EXPECT_EQ(b_->received.size(), 1u);
+}
+
+TEST_F(NetworkTest, TimersFireWithToken) {
+  a_->SetTimer(Millis(5), 42);
+  a_->SetTimer(Millis(10), 43);
+  cluster_.env().RunUntilIdle();
+  EXPECT_EQ(a_->timers, (std::vector<uint64_t>{42, 43}));
+}
+
+TEST_F(NetworkTest, CancelledTimerDoesNotFire) {
+  uint64_t t = a_->SetTimer(Millis(5), 1);
+  a_->CancelTimer(t);
+  cluster_.env().RunUntilIdle();
+  EXPECT_TRUE(a_->timers.empty());
+}
+
+TEST_F(NetworkTest, CrashKillsPendingTimers) {
+  a_->SetTimer(Millis(50), 7);
+  cluster_.env().Schedule(Millis(10), [&] { cluster_.net().Crash(a_->id()); });
+  cluster_.env().Schedule(Millis(20), [&] { cluster_.net().Recover(a_->id()); });
+  cluster_.env().RunUntilIdle();
+  EXPECT_TRUE(a_->timers.empty());  // timer armed pre-crash must not fire
+}
+
+TEST_F(NetworkTest, FaultInjectorSchedules) {
+  FaultInjector faults(&cluster_.net());
+  faults.CrashAt(Millis(10), b_->id());
+  faults.RecoverAt(Millis(30), b_->id());
+  faults.PartitionAt(Millis(40), {{a_->id()}, {b_->id(), c_->id()}});
+  faults.HealAt(Millis(50));
+
+  cluster_.env().RunUntil(Millis(20));
+  EXPECT_FALSE(b_->alive());
+  cluster_.env().RunUntil(Millis(35));
+  EXPECT_TRUE(b_->alive());
+  cluster_.env().RunUntil(Millis(45));
+  EXPECT_TRUE(cluster_.net().Partitioned());
+  cluster_.env().RunUntil(Millis(55));
+  EXPECT_FALSE(cluster_.net().Partitioned());
+}
+
+TEST_F(NetworkTest, StableStorageSurvivesCrash) {
+  auto* store = cluster_.StorageFor(a_->id());
+  ASSERT_TRUE(store->PutString("ballot", "7:1").ok());
+  cluster_.net().Crash(a_->id());
+  cluster_.net().Recover(a_->id());
+  EXPECT_EQ(cluster_.StorageFor(a_->id())->GetString("ballot").value(), "7:1");
+}
+
+TEST_F(NetworkTest, DeterministicAcrossRuns) {
+  // Two identically-seeded clusters produce identical delivery timestamps.
+  auto run = [](uint64_t seed) {
+    Cluster c(seed);
+    auto* x = c.AddNode<EchoNode>(Region::kUsWest1);
+    auto* y = c.AddNode<EchoNode>(Region::kAsiaEast2);
+    for (int i = 0; i < 20; ++i) x->SendPing(y->id(), std::to_string(i));
+    c.env().RunUntilIdle();
+    std::vector<SimTime> times;
+    for (const auto& m : y->received) times.push_back(m.at);
+    return times;
+  };
+  EXPECT_EQ(run(1234), run(1234));
+  EXPECT_NE(run(1234), run(5678));
+}
+
+TEST_F(NetworkTest, MessageTapObservesSendsAndDrops) {
+  struct Tapped {
+    uint32_t type;
+    bool delivered;
+  };
+  std::vector<Tapped> taps;
+  cluster_.net().set_message_tap(
+      [&](SimTime, sim::NodeId, sim::NodeId, uint32_t type, size_t bytes,
+          bool delivered) {
+        EXPECT_GT(bytes, 0u);
+        taps.push_back({type, delivered});
+      });
+  a_->SendPing(b_->id(), "one");
+  cluster_.env().RunUntilIdle();
+  ASSERT_EQ(taps.size(), 2u);  // ping + pong
+  EXPECT_EQ(taps[0].type, kPing);
+  EXPECT_TRUE(taps[0].delivered);
+
+  cluster_.net().set_loss_rate(1.0);
+  a_->SendPing(b_->id(), "two");
+  cluster_.env().RunUntilIdle();
+  ASSERT_EQ(taps.size(), 3u);
+  EXPECT_FALSE(taps[2].delivered);
+
+  cluster_.net().set_message_tap(nullptr);
+  cluster_.net().set_loss_rate(0.0);
+  a_->SendPing(b_->id(), "three");
+  cluster_.env().RunUntilIdle();
+  EXPECT_EQ(taps.size(), 3u);  // tap removed
+}
+
+TEST_F(NetworkTest, StatsCountBytes) {
+  a_->SendPing(b_->id(), "12345");
+  cluster_.env().RunUntilIdle();
+  EXPECT_GT(cluster_.net().stats().bytes_sent, 5u);
+  EXPECT_EQ(cluster_.net().stats().messages_sent, 2u);  // ping + pong
+  EXPECT_EQ(cluster_.net().stats().messages_delivered, 2u);
+}
+
+}  // namespace
+}  // namespace samya::sim

@@ -1,0 +1,111 @@
+#include "storage/stable_storage.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+
+#include "storage/wal.h"
+
+namespace samya::storage {
+namespace {
+
+std::vector<uint8_t> Bytes(const std::string& s) { return {s.begin(), s.end()}; }
+
+TEST(InMemoryStableStorageTest, PutGetDelete) {
+  InMemoryStableStorage s;
+  EXPECT_TRUE(s.Get("k").status().code() == StatusCode::kNotFound);
+  ASSERT_TRUE(s.Put("k", Bytes("v1")).ok());
+  EXPECT_EQ(s.Get("k").value(), Bytes("v1"));
+  ASSERT_TRUE(s.Put("k", Bytes("v2")).ok());
+  EXPECT_EQ(s.Get("k").value(), Bytes("v2"));
+  ASSERT_TRUE(s.Delete("k").ok());
+  EXPECT_FALSE(s.Get("k").ok());
+}
+
+TEST(InMemoryStableStorageTest, KeysSorted) {
+  InMemoryStableStorage s;
+  ASSERT_TRUE(s.Put("b", {}).ok());
+  ASSERT_TRUE(s.Put("a", {}).ok());
+  ASSERT_TRUE(s.Put("c", {}).ok());
+  EXPECT_EQ(s.Keys(), (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(InMemoryStableStorageTest, StringHelpers) {
+  InMemoryStableStorage s;
+  ASSERT_TRUE(s.PutString("name", "samya").ok());
+  EXPECT_EQ(s.GetString("name").value(), "samya");
+  EXPECT_FALSE(s.GetString("missing").ok());
+}
+
+class FileStableStorageTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("samya_fss_test_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::create_directories(dir_);
+    path_ = (dir_ / "store.wal").string();
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::filesystem::path dir_;
+  std::string path_;
+};
+
+TEST_F(FileStableStorageTest, PersistsAcrossReopen) {
+  {
+    auto s = FileStableStorage::Open(path_);
+    ASSERT_TRUE(s.ok());
+    ASSERT_TRUE((*s)->PutString("tokens_left", "1000").ok());
+    ASSERT_TRUE((*s)->PutString("ballot", "3:2").ok());
+    ASSERT_TRUE((*s)->Delete("ballot").ok());
+  }
+  auto s = FileStableStorage::Open(path_);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ((*s)->GetString("tokens_left").value(), "1000");
+  EXPECT_FALSE((*s)->Get("ballot").ok());
+}
+
+TEST_F(FileStableStorageTest, OverwritesTakeLatestValue) {
+  {
+    auto s = FileStableStorage::Open(path_);
+    for (int i = 0; i < 10; ++i) {
+      ASSERT_TRUE((*s)->PutString("k", std::to_string(i)).ok());
+    }
+  }
+  auto s = FileStableStorage::Open(path_);
+  EXPECT_EQ((*s)->GetString("k").value(), "9");
+}
+
+TEST_F(FileStableStorageTest, CompactionPreservesState) {
+  {
+    auto s = FileStableStorage::Open(path_, /*compaction_threshold=*/16);
+    for (int i = 0; i < 200; ++i) {
+      ASSERT_TRUE((*s)->PutString("hot", std::to_string(i)).ok());
+    }
+    ASSERT_TRUE((*s)->PutString("cold", "stays").ok());
+  }
+  // After heavy overwrites the log must have been compacted well below the
+  // total op count.
+  auto records = WriteAheadLog::ReadAll(path_);
+  ASSERT_TRUE(records.ok());
+  EXPECT_LT(records->size(), 100u);
+
+  auto s = FileStableStorage::Open(path_, 16);
+  EXPECT_EQ((*s)->GetString("hot").value(), "199");
+  EXPECT_EQ((*s)->GetString("cold").value(), "stays");
+}
+
+TEST_F(FileStableStorageTest, EmptyValueRoundTrips) {
+  {
+    auto s = FileStableStorage::Open(path_);
+    ASSERT_TRUE((*s)->Put("empty", {}).ok());
+  }
+  auto s = FileStableStorage::Open(path_);
+  EXPECT_TRUE((*s)->Get("empty").ok());
+  EXPECT_TRUE((*s)->Get("empty").value().empty());
+}
+
+}  // namespace
+}  // namespace samya::storage

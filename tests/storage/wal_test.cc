@@ -1,0 +1,141 @@
+#include "storage/wal.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+
+namespace samya::storage {
+namespace {
+
+class WalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("samya_wal_test_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::create_directories(dir_);
+    path_ = (dir_ / "test.wal").string();
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  static std::vector<uint8_t> Bytes(const std::string& s) {
+    return {s.begin(), s.end()};
+  }
+
+  std::filesystem::path dir_;
+  std::string path_;
+};
+
+TEST_F(WalTest, MissingFileReadsEmpty) {
+  auto records = WriteAheadLog::ReadAll(path_);
+  ASSERT_TRUE(records.ok());
+  EXPECT_TRUE(records->empty());
+}
+
+TEST_F(WalTest, AppendAndReadBack) {
+  {
+    auto wal = WriteAheadLog::Open(path_);
+    ASSERT_TRUE(wal.ok());
+    ASSERT_TRUE((*wal)->Append(Bytes("alpha")).ok());
+    ASSERT_TRUE((*wal)->Append(Bytes("beta")).ok());
+    ASSERT_TRUE((*wal)->Append(Bytes("")).ok());  // empty record is legal
+    ASSERT_TRUE((*wal)->Sync().ok());
+  }
+  auto records = WriteAheadLog::ReadAll(path_);
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 3u);
+  EXPECT_EQ((*records)[0], Bytes("alpha"));
+  EXPECT_EQ((*records)[1], Bytes("beta"));
+  EXPECT_TRUE((*records)[2].empty());
+}
+
+TEST_F(WalTest, ReopenAppends) {
+  {
+    auto wal = WriteAheadLog::Open(path_);
+    ASSERT_TRUE((*wal)->Append(Bytes("one")).ok());
+    ASSERT_TRUE((*wal)->Sync().ok());
+  }
+  {
+    auto wal = WriteAheadLog::Open(path_);
+    ASSERT_TRUE((*wal)->Append(Bytes("two")).ok());
+    ASSERT_TRUE((*wal)->Sync().ok());
+  }
+  auto records = WriteAheadLog::ReadAll(path_);
+  ASSERT_EQ(records->size(), 2u);
+  EXPECT_EQ((*records)[1], Bytes("two"));
+}
+
+TEST_F(WalTest, TornTailIsDiscarded) {
+  {
+    auto wal = WriteAheadLog::Open(path_);
+    ASSERT_TRUE((*wal)->Append(Bytes("intact")).ok());
+    ASSERT_TRUE((*wal)->Sync().ok());
+  }
+  // Simulate a crash mid-append: write a header claiming more bytes than
+  // exist.
+  {
+    std::FILE* f = std::fopen(path_.c_str(), "ab");
+    const uint8_t garbage[6] = {1, 2, 3, 4, 5, 6};
+    std::fwrite(garbage, 1, sizeof(garbage), f);
+    std::fclose(f);
+  }
+  size_t discarded = 0;
+  auto records = WriteAheadLog::ReadAll(path_, &discarded);
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 1u);
+  EXPECT_EQ((*records)[0], Bytes("intact"));
+  EXPECT_EQ(discarded, 6u);
+}
+
+TEST_F(WalTest, CorruptTailIsDetectedByCrc) {
+  {
+    auto wal = WriteAheadLog::Open(path_);
+    ASSERT_TRUE((*wal)->Append(Bytes("good")).ok());
+    ASSERT_TRUE((*wal)->Append(Bytes("will-corrupt")).ok());
+    ASSERT_TRUE((*wal)->Sync().ok());
+  }
+  // Flip a byte inside the second record's payload.
+  {
+    std::FILE* f = std::fopen(path_.c_str(), "r+b");
+    std::fseek(f, -1, SEEK_END);
+    const uint8_t x = 0xff;
+    std::fwrite(&x, 1, 1, f);
+    std::fclose(f);
+  }
+  size_t discarded = 0;
+  auto records = WriteAheadLog::ReadAll(path_, &discarded);
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 1u);
+  EXPECT_EQ((*records)[0], Bytes("good"));
+  EXPECT_GT(discarded, 0u);
+}
+
+TEST_F(WalTest, RewriteReplacesContents) {
+  {
+    auto wal = WriteAheadLog::Open(path_);
+    ASSERT_TRUE((*wal)->Append(Bytes("old1")).ok());
+    ASSERT_TRUE((*wal)->Append(Bytes("old2")).ok());
+    ASSERT_TRUE((*wal)->Sync().ok());
+  }
+  ASSERT_TRUE(WriteAheadLog::Rewrite(path_, {Bytes("new")}).ok());
+  auto records = WriteAheadLog::ReadAll(path_);
+  ASSERT_EQ(records->size(), 1u);
+  EXPECT_EQ((*records)[0], Bytes("new"));
+}
+
+TEST_F(WalTest, LargeRecords) {
+  std::vector<uint8_t> big(1 << 20, 0xcd);
+  {
+    auto wal = WriteAheadLog::Open(path_);
+    ASSERT_TRUE((*wal)->Append(big).ok());
+    ASSERT_TRUE((*wal)->Sync().ok());
+  }
+  auto records = WriteAheadLog::ReadAll(path_);
+  ASSERT_EQ(records->size(), 1u);
+  EXPECT_EQ((*records)[0], big);
+}
+
+}  // namespace
+}  // namespace samya::storage

@@ -1,0 +1,85 @@
+#include "workload/request_stream.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/azure_generator.h"
+#include "workload/transform.h"
+
+namespace samya::workload {
+namespace {
+
+DemandTrace TinyTrace() {
+  std::vector<DemandInterval> data = {{5, 2}, {3, 4}};
+  return DemandTrace(Seconds(5), std::move(data));
+}
+
+TEST(RequestStreamTest, CountsMatchTrace) {
+  auto reqs = GenerateRequests(TinyTrace(), {});
+  int64_t acquires = 0, releases = 0, reads = 0;
+  for (const auto& r : reqs) {
+    if (r.type == Request::Type::kAcquire) ++acquires;
+    if (r.type == Request::Type::kRelease) ++releases;
+    if (r.type == Request::Type::kRead) ++reads;
+    EXPECT_EQ(r.amount, 1);
+  }
+  EXPECT_EQ(acquires, 8);
+  EXPECT_EQ(releases, 6);
+  EXPECT_EQ(reads, 0);
+}
+
+TEST(RequestStreamTest, TimesWithinIntervalsAndSorted) {
+  auto reqs = GenerateRequests(TinyTrace(), {});
+  SimTime prev = 0;
+  for (const auto& r : reqs) {
+    EXPECT_GE(r.at, prev);
+    EXPECT_LT(r.at, Seconds(10));
+    prev = r.at;
+  }
+}
+
+TEST(RequestStreamTest, HorizonCapsGeneration) {
+  RequestStreamOptions opts;
+  opts.horizon = Seconds(5);
+  auto reqs = GenerateRequests(TinyTrace(), opts);
+  for (const auto& r : reqs) EXPECT_LT(r.at, Seconds(5));
+  // Only interval 0's requests remain.
+  EXPECT_EQ(reqs.size(), 7u);
+}
+
+TEST(RequestStreamTest, ReadRatioApproximatelyHonored) {
+  AzureTraceOptions o;
+  o.days = 2;
+  auto trace = CompressTime(GenerateAzureTrace(o), 60);
+  RequestStreamOptions opts;
+  opts.read_ratio = 0.5;
+  auto reqs = GenerateRequests(trace, opts);
+  int64_t reads = 0;
+  for (const auto& r : reqs) reads += (r.type == Request::Type::kRead);
+  const double frac =
+      static_cast<double>(reads) / static_cast<double>(reqs.size());
+  EXPECT_NEAR(frac, 0.5, 0.02);
+}
+
+TEST(RequestStreamTest, DeterministicBySeed) {
+  auto a = GenerateRequests(TinyTrace(), {});
+  auto b = GenerateRequests(TinyTrace(), {});
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].at, b[i].at);
+    EXPECT_EQ(static_cast<int>(a[i].type), static_cast<int>(b[i].type));
+  }
+}
+
+TEST(RequestStreamTest, CompressedHourHasPaperScaleVolume) {
+  // §5.3: one compressed hour (60 original hours) yields ~820k transactions
+  // across 5 regions, i.e. ~164k for one region.
+  auto trace = CompressTime(GenerateAzureTrace({}), 60);
+  RequestStreamOptions opts;
+  opts.horizon = kHour;
+  auto reqs = GenerateRequests(trace, opts);
+  EXPECT_GT(reqs.size(), 80000u);
+  EXPECT_LT(reqs.size(), 400000u);
+}
+
+}  // namespace
+}  // namespace samya::workload
