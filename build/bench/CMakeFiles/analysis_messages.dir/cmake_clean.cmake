@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_messages.dir/analysis_messages.cc.o"
+  "CMakeFiles/analysis_messages.dir/analysis_messages.cc.o.d"
+  "analysis_messages"
+  "analysis_messages.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_messages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

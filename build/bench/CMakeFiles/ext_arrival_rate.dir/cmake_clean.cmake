@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_arrival_rate.dir/ext_arrival_rate.cc.o"
+  "CMakeFiles/ext_arrival_rate.dir/ext_arrival_rate.cc.o.d"
+  "ext_arrival_rate"
+  "ext_arrival_rate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_arrival_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_max_limit.dir/ext_max_limit.cc.o"
+  "CMakeFiles/ext_max_limit.dir/ext_max_limit.cc.o.d"
+  "ext_max_limit"
+  "ext_max_limit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_max_limit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

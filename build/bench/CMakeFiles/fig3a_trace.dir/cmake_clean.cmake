@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3a_trace.dir/fig3a_trace.cc.o"
+  "CMakeFiles/fig3a_trace.dir/fig3a_trace.cc.o.d"
+  "fig3a_trace"
+  "fig3a_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3a_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

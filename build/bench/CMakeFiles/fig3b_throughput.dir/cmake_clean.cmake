@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3b_throughput.dir/fig3b_throughput.cc.o"
+  "CMakeFiles/fig3b_throughput.dir/fig3b_throughput.cc.o.d"
+  "fig3b_throughput"
+  "fig3b_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3b_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3c_crash.dir/fig3c_crash.cc.o"
+  "CMakeFiles/fig3c_crash.dir/fig3c_crash.cc.o.d"
+  "fig3c_crash"
+  "fig3c_crash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3c_crash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3d_partition.dir/fig3d_partition.cc.o"
+  "CMakeFiles/fig3d_partition.dir/fig3d_partition.cc.o.d"
+  "fig3d_partition"
+  "fig3d_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3d_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

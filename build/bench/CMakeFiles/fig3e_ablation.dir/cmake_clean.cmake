@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3e_ablation.dir/fig3e_ablation.cc.o"
+  "CMakeFiles/fig3e_ablation.dir/fig3e_ablation.cc.o.d"
+  "fig3e_ablation"
+  "fig3e_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3e_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3f_prediction.dir/fig3f_prediction.cc.o"
+  "CMakeFiles/fig3f_prediction.dir/fig3f_prediction.cc.o.d"
+  "fig3f_prediction"
+  "fig3f_prediction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3f_prediction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3g_scalability.dir/fig3g_scalability.cc.o"
+  "CMakeFiles/fig3g_scalability.dir/fig3g_scalability.cc.o.d"
+  "fig3g_scalability"
+  "fig3g_scalability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3g_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

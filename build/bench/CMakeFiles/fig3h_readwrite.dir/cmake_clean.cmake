@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3h_readwrite.dir/fig3h_readwrite.cc.o"
+  "CMakeFiles/fig3h_readwrite.dir/fig3h_readwrite.cc.o.d"
+  "fig3h_readwrite"
+  "fig3h_readwrite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3h_readwrite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

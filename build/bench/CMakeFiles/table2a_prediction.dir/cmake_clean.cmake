@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2a_prediction.dir/table2a_prediction.cc.o"
+  "CMakeFiles/table2a_prediction.dir/table2a_prediction.cc.o.d"
+  "table2a_prediction"
+  "table2a_prediction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2a_prediction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

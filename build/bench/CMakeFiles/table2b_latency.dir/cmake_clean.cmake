@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2b_latency.dir/table2b_latency.cc.o"
+  "CMakeFiles/table2b_latency.dir/table2b_latency.cc.o.d"
+  "table2b_latency"
+  "table2b_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2b_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

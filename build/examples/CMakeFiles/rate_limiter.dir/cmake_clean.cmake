@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rate_limiter.dir/rate_limiter.cpp.o"
+  "CMakeFiles/rate_limiter.dir/rate_limiter.cpp.o.d"
+  "rate_limiter"
+  "rate_limiter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rate_limiter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

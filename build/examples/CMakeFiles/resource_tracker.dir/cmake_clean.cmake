@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resource_tracker.dir/resource_tracker.cpp.o"
+  "CMakeFiles/resource_tracker.dir/resource_tracker.cpp.o.d"
+  "resource_tracker"
+  "resource_tracker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resource_tracker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

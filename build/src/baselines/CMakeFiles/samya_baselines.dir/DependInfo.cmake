@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/demarcation.cc" "src/baselines/CMakeFiles/samya_baselines.dir/demarcation.cc.o" "gcc" "src/baselines/CMakeFiles/samya_baselines.dir/demarcation.cc.o.d"
+  "/root/repo/src/baselines/replicated.cc" "src/baselines/CMakeFiles/samya_baselines.dir/replicated.cc.o" "gcc" "src/baselines/CMakeFiles/samya_baselines.dir/replicated.cc.o.d"
+  "/root/repo/src/baselines/site_escrow.cc" "src/baselines/CMakeFiles/samya_baselines.dir/site_escrow.cc.o" "gcc" "src/baselines/CMakeFiles/samya_baselines.dir/site_escrow.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/samya_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/consensus/CMakeFiles/samya_consensus.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/samya_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/samya_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

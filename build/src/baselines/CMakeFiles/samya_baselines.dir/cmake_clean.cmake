@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/samya_baselines.dir/demarcation.cc.o"
+  "CMakeFiles/samya_baselines.dir/demarcation.cc.o.d"
+  "CMakeFiles/samya_baselines.dir/replicated.cc.o"
+  "CMakeFiles/samya_baselines.dir/replicated.cc.o.d"
+  "CMakeFiles/samya_baselines.dir/site_escrow.cc.o"
+  "CMakeFiles/samya_baselines.dir/site_escrow.cc.o.d"
+  "libsamya_baselines.a"
+  "libsamya_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/samya_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

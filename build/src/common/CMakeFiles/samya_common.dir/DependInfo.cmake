@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/codec.cc" "src/common/CMakeFiles/samya_common.dir/codec.cc.o" "gcc" "src/common/CMakeFiles/samya_common.dir/codec.cc.o.d"
+  "/root/repo/src/common/crc32.cc" "src/common/CMakeFiles/samya_common.dir/crc32.cc.o" "gcc" "src/common/CMakeFiles/samya_common.dir/crc32.cc.o.d"
+  "/root/repo/src/common/histogram.cc" "src/common/CMakeFiles/samya_common.dir/histogram.cc.o" "gcc" "src/common/CMakeFiles/samya_common.dir/histogram.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/common/CMakeFiles/samya_common.dir/logging.cc.o" "gcc" "src/common/CMakeFiles/samya_common.dir/logging.cc.o.d"
+  "/root/repo/src/common/random.cc" "src/common/CMakeFiles/samya_common.dir/random.cc.o" "gcc" "src/common/CMakeFiles/samya_common.dir/random.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/common/CMakeFiles/samya_common.dir/status.cc.o" "gcc" "src/common/CMakeFiles/samya_common.dir/status.cc.o.d"
+  "/root/repo/src/common/time.cc" "src/common/CMakeFiles/samya_common.dir/time.cc.o" "gcc" "src/common/CMakeFiles/samya_common.dir/time.cc.o.d"
+  "/root/repo/src/common/timeseries.cc" "src/common/CMakeFiles/samya_common.dir/timeseries.cc.o" "gcc" "src/common/CMakeFiles/samya_common.dir/timeseries.cc.o.d"
+  "/root/repo/src/common/token_api.cc" "src/common/CMakeFiles/samya_common.dir/token_api.cc.o" "gcc" "src/common/CMakeFiles/samya_common.dir/token_api.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/samya_common.dir/codec.cc.o"
+  "CMakeFiles/samya_common.dir/codec.cc.o.d"
+  "CMakeFiles/samya_common.dir/crc32.cc.o"
+  "CMakeFiles/samya_common.dir/crc32.cc.o.d"
+  "CMakeFiles/samya_common.dir/histogram.cc.o"
+  "CMakeFiles/samya_common.dir/histogram.cc.o.d"
+  "CMakeFiles/samya_common.dir/logging.cc.o"
+  "CMakeFiles/samya_common.dir/logging.cc.o.d"
+  "CMakeFiles/samya_common.dir/random.cc.o"
+  "CMakeFiles/samya_common.dir/random.cc.o.d"
+  "CMakeFiles/samya_common.dir/status.cc.o"
+  "CMakeFiles/samya_common.dir/status.cc.o.d"
+  "CMakeFiles/samya_common.dir/time.cc.o"
+  "CMakeFiles/samya_common.dir/time.cc.o.d"
+  "CMakeFiles/samya_common.dir/timeseries.cc.o"
+  "CMakeFiles/samya_common.dir/timeseries.cc.o.d"
+  "CMakeFiles/samya_common.dir/token_api.cc.o"
+  "CMakeFiles/samya_common.dir/token_api.cc.o.d"
+  "libsamya_common.a"
+  "libsamya_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/samya_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

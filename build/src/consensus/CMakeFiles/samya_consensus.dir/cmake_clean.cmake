@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/samya_consensus.dir/multipaxos.cc.o"
+  "CMakeFiles/samya_consensus.dir/multipaxos.cc.o.d"
+  "CMakeFiles/samya_consensus.dir/paxos.cc.o"
+  "CMakeFiles/samya_consensus.dir/paxos.cc.o.d"
+  "CMakeFiles/samya_consensus.dir/raft.cc.o"
+  "CMakeFiles/samya_consensus.dir/raft.cc.o.d"
+  "CMakeFiles/samya_consensus.dir/token_sm.cc.o"
+  "CMakeFiles/samya_consensus.dir/token_sm.cc.o.d"
+  "libsamya_consensus.a"
+  "libsamya_consensus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/samya_consensus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

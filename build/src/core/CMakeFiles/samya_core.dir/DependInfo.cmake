@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/app_manager.cc" "src/core/CMakeFiles/samya_core.dir/app_manager.cc.o" "gcc" "src/core/CMakeFiles/samya_core.dir/app_manager.cc.o.d"
+  "/root/repo/src/core/avantan.cc" "src/core/CMakeFiles/samya_core.dir/avantan.cc.o" "gcc" "src/core/CMakeFiles/samya_core.dir/avantan.cc.o.d"
+  "/root/repo/src/core/directory.cc" "src/core/CMakeFiles/samya_core.dir/directory.cc.o" "gcc" "src/core/CMakeFiles/samya_core.dir/directory.cc.o.d"
+  "/root/repo/src/core/hierarchy.cc" "src/core/CMakeFiles/samya_core.dir/hierarchy.cc.o" "gcc" "src/core/CMakeFiles/samya_core.dir/hierarchy.cc.o.d"
+  "/root/repo/src/core/messages.cc" "src/core/CMakeFiles/samya_core.dir/messages.cc.o" "gcc" "src/core/CMakeFiles/samya_core.dir/messages.cc.o.d"
+  "/root/repo/src/core/reallocator.cc" "src/core/CMakeFiles/samya_core.dir/reallocator.cc.o" "gcc" "src/core/CMakeFiles/samya_core.dir/reallocator.cc.o.d"
+  "/root/repo/src/core/site.cc" "src/core/CMakeFiles/samya_core.dir/site.cc.o" "gcc" "src/core/CMakeFiles/samya_core.dir/site.cc.o.d"
+  "/root/repo/src/core/types.cc" "src/core/CMakeFiles/samya_core.dir/types.cc.o" "gcc" "src/core/CMakeFiles/samya_core.dir/types.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/samya_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/consensus/CMakeFiles/samya_consensus.dir/DependInfo.cmake"
+  "/root/repo/build/src/predict/CMakeFiles/samya_predict.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/samya_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/samya_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/samya_core.dir/app_manager.cc.o"
+  "CMakeFiles/samya_core.dir/app_manager.cc.o.d"
+  "CMakeFiles/samya_core.dir/avantan.cc.o"
+  "CMakeFiles/samya_core.dir/avantan.cc.o.d"
+  "CMakeFiles/samya_core.dir/directory.cc.o"
+  "CMakeFiles/samya_core.dir/directory.cc.o.d"
+  "CMakeFiles/samya_core.dir/hierarchy.cc.o"
+  "CMakeFiles/samya_core.dir/hierarchy.cc.o.d"
+  "CMakeFiles/samya_core.dir/messages.cc.o"
+  "CMakeFiles/samya_core.dir/messages.cc.o.d"
+  "CMakeFiles/samya_core.dir/reallocator.cc.o"
+  "CMakeFiles/samya_core.dir/reallocator.cc.o.d"
+  "CMakeFiles/samya_core.dir/site.cc.o"
+  "CMakeFiles/samya_core.dir/site.cc.o.d"
+  "CMakeFiles/samya_core.dir/types.cc.o"
+  "CMakeFiles/samya_core.dir/types.cc.o.d"
+  "libsamya_core.a"
+  "libsamya_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/samya_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

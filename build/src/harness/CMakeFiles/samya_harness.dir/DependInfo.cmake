@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/harness/experiment.cc" "src/harness/CMakeFiles/samya_harness.dir/experiment.cc.o" "gcc" "src/harness/CMakeFiles/samya_harness.dir/experiment.cc.o.d"
+  "/root/repo/src/harness/workload_client.cc" "src/harness/CMakeFiles/samya_harness.dir/workload_client.cc.o" "gcc" "src/harness/CMakeFiles/samya_harness.dir/workload_client.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baselines/CMakeFiles/samya_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/samya_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/samya_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/samya_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/samya_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/consensus/CMakeFiles/samya_consensus.dir/DependInfo.cmake"
+  "/root/repo/build/src/predict/CMakeFiles/samya_predict.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/samya_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

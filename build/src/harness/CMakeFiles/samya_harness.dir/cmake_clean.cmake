@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/samya_harness.dir/experiment.cc.o"
+  "CMakeFiles/samya_harness.dir/experiment.cc.o.d"
+  "CMakeFiles/samya_harness.dir/workload_client.cc.o"
+  "CMakeFiles/samya_harness.dir/workload_client.cc.o.d"
+  "libsamya_harness.a"
+  "libsamya_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/samya_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/predict/arima.cc" "src/predict/CMakeFiles/samya_predict.dir/arima.cc.o" "gcc" "src/predict/CMakeFiles/samya_predict.dir/arima.cc.o.d"
+  "/root/repo/src/predict/lstm.cc" "src/predict/CMakeFiles/samya_predict.dir/lstm.cc.o" "gcc" "src/predict/CMakeFiles/samya_predict.dir/lstm.cc.o.d"
+  "/root/repo/src/predict/matrix.cc" "src/predict/CMakeFiles/samya_predict.dir/matrix.cc.o" "gcc" "src/predict/CMakeFiles/samya_predict.dir/matrix.cc.o.d"
+  "/root/repo/src/predict/metrics.cc" "src/predict/CMakeFiles/samya_predict.dir/metrics.cc.o" "gcc" "src/predict/CMakeFiles/samya_predict.dir/metrics.cc.o.d"
+  "/root/repo/src/predict/optimizer.cc" "src/predict/CMakeFiles/samya_predict.dir/optimizer.cc.o" "gcc" "src/predict/CMakeFiles/samya_predict.dir/optimizer.cc.o.d"
+  "/root/repo/src/predict/predictor.cc" "src/predict/CMakeFiles/samya_predict.dir/predictor.cc.o" "gcc" "src/predict/CMakeFiles/samya_predict.dir/predictor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/samya_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/samya_predict.dir/arima.cc.o"
+  "CMakeFiles/samya_predict.dir/arima.cc.o.d"
+  "CMakeFiles/samya_predict.dir/lstm.cc.o"
+  "CMakeFiles/samya_predict.dir/lstm.cc.o.d"
+  "CMakeFiles/samya_predict.dir/matrix.cc.o"
+  "CMakeFiles/samya_predict.dir/matrix.cc.o.d"
+  "CMakeFiles/samya_predict.dir/metrics.cc.o"
+  "CMakeFiles/samya_predict.dir/metrics.cc.o.d"
+  "CMakeFiles/samya_predict.dir/optimizer.cc.o"
+  "CMakeFiles/samya_predict.dir/optimizer.cc.o.d"
+  "CMakeFiles/samya_predict.dir/predictor.cc.o"
+  "CMakeFiles/samya_predict.dir/predictor.cc.o.d"
+  "libsamya_predict.a"
+  "libsamya_predict.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/samya_predict.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsamya_predict.a"
+)

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/environment.cc" "src/sim/CMakeFiles/samya_sim.dir/environment.cc.o" "gcc" "src/sim/CMakeFiles/samya_sim.dir/environment.cc.o.d"
+  "/root/repo/src/sim/event_queue.cc" "src/sim/CMakeFiles/samya_sim.dir/event_queue.cc.o" "gcc" "src/sim/CMakeFiles/samya_sim.dir/event_queue.cc.o.d"
+  "/root/repo/src/sim/latency_model.cc" "src/sim/CMakeFiles/samya_sim.dir/latency_model.cc.o" "gcc" "src/sim/CMakeFiles/samya_sim.dir/latency_model.cc.o.d"
+  "/root/repo/src/sim/network.cc" "src/sim/CMakeFiles/samya_sim.dir/network.cc.o" "gcc" "src/sim/CMakeFiles/samya_sim.dir/network.cc.o.d"
+  "/root/repo/src/sim/node.cc" "src/sim/CMakeFiles/samya_sim.dir/node.cc.o" "gcc" "src/sim/CMakeFiles/samya_sim.dir/node.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/samya_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/samya_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/samya_sim.dir/environment.cc.o"
+  "CMakeFiles/samya_sim.dir/environment.cc.o.d"
+  "CMakeFiles/samya_sim.dir/event_queue.cc.o"
+  "CMakeFiles/samya_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/samya_sim.dir/latency_model.cc.o"
+  "CMakeFiles/samya_sim.dir/latency_model.cc.o.d"
+  "CMakeFiles/samya_sim.dir/network.cc.o"
+  "CMakeFiles/samya_sim.dir/network.cc.o.d"
+  "CMakeFiles/samya_sim.dir/node.cc.o"
+  "CMakeFiles/samya_sim.dir/node.cc.o.d"
+  "libsamya_sim.a"
+  "libsamya_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/samya_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/samya_storage.dir/stable_storage.cc.o"
+  "CMakeFiles/samya_storage.dir/stable_storage.cc.o.d"
+  "CMakeFiles/samya_storage.dir/wal.cc.o"
+  "CMakeFiles/samya_storage.dir/wal.cc.o.d"
+  "libsamya_storage.a"
+  "libsamya_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/samya_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

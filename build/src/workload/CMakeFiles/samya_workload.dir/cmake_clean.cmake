@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/samya_workload.dir/azure_generator.cc.o"
+  "CMakeFiles/samya_workload.dir/azure_generator.cc.o.d"
+  "CMakeFiles/samya_workload.dir/request_stream.cc.o"
+  "CMakeFiles/samya_workload.dir/request_stream.cc.o.d"
+  "CMakeFiles/samya_workload.dir/trace.cc.o"
+  "CMakeFiles/samya_workload.dir/trace.cc.o.d"
+  "CMakeFiles/samya_workload.dir/transform.cc.o"
+  "CMakeFiles/samya_workload.dir/transform.cc.o.d"
+  "libsamya_workload.a"
+  "libsamya_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/samya_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

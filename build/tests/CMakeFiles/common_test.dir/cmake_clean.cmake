@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/common_test.dir/common/codec_test.cc.o"
+  "CMakeFiles/common_test.dir/common/codec_test.cc.o.d"
+  "CMakeFiles/common_test.dir/common/crc32_test.cc.o"
+  "CMakeFiles/common_test.dir/common/crc32_test.cc.o.d"
+  "CMakeFiles/common_test.dir/common/histogram_test.cc.o"
+  "CMakeFiles/common_test.dir/common/histogram_test.cc.o.d"
+  "CMakeFiles/common_test.dir/common/random_test.cc.o"
+  "CMakeFiles/common_test.dir/common/random_test.cc.o.d"
+  "CMakeFiles/common_test.dir/common/status_test.cc.o"
+  "CMakeFiles/common_test.dir/common/status_test.cc.o.d"
+  "CMakeFiles/common_test.dir/common/timeseries_test.cc.o"
+  "CMakeFiles/common_test.dir/common/timeseries_test.cc.o.d"
+  "CMakeFiles/common_test.dir/common/token_api_test.cc.o"
+  "CMakeFiles/common_test.dir/common/token_api_test.cc.o.d"
+  "common_test"
+  "common_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test.dir/core/app_manager_test.cc.o"
+  "CMakeFiles/core_test.dir/core/app_manager_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/avantan_test.cc.o"
+  "CMakeFiles/core_test.dir/core/avantan_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/directory_test.cc.o"
+  "CMakeFiles/core_test.dir/core/directory_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/hierarchy_test.cc.o"
+  "CMakeFiles/core_test.dir/core/hierarchy_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/messages_test.cc.o"
+  "CMakeFiles/core_test.dir/core/messages_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/reallocator_test.cc.o"
+  "CMakeFiles/core_test.dir/core/reallocator_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/site_edge_test.cc.o"
+  "CMakeFiles/core_test.dir/core/site_edge_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/site_test.cc.o"
+  "CMakeFiles/core_test.dir/core/site_test.cc.o.d"
+  "core_test"
+  "core_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

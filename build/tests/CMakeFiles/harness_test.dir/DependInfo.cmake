@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/harness/workload_client_test.cc" "tests/CMakeFiles/harness_test.dir/harness/workload_client_test.cc.o" "gcc" "tests/CMakeFiles/harness_test.dir/harness/workload_client_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/samya_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/consensus/CMakeFiles/samya_consensus.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/samya_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/predict/CMakeFiles/samya_predict.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/samya_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/samya_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/samya_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/samya_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/samya_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

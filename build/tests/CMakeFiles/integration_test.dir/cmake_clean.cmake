@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_test.dir/integration/avantan_agreement_test.cc.o"
+  "CMakeFiles/integration_test.dir/integration/avantan_agreement_test.cc.o.d"
+  "CMakeFiles/integration_test.dir/integration/experiment_test.cc.o"
+  "CMakeFiles/integration_test.dir/integration/experiment_test.cc.o.d"
+  "CMakeFiles/integration_test.dir/integration/failure_test.cc.o"
+  "CMakeFiles/integration_test.dir/integration/failure_test.cc.o.d"
+  "CMakeFiles/integration_test.dir/integration/invariant_property_test.cc.o"
+  "CMakeFiles/integration_test.dir/integration/invariant_property_test.cc.o.d"
+  "integration_test"
+  "integration_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/predict_test.dir/predict/arima_test.cc.o"
+  "CMakeFiles/predict_test.dir/predict/arima_test.cc.o.d"
+  "CMakeFiles/predict_test.dir/predict/lstm_test.cc.o"
+  "CMakeFiles/predict_test.dir/predict/lstm_test.cc.o.d"
+  "CMakeFiles/predict_test.dir/predict/matrix_test.cc.o"
+  "CMakeFiles/predict_test.dir/predict/matrix_test.cc.o.d"
+  "CMakeFiles/predict_test.dir/predict/optimizer_test.cc.o"
+  "CMakeFiles/predict_test.dir/predict/optimizer_test.cc.o.d"
+  "CMakeFiles/predict_test.dir/predict/predictor_test.cc.o"
+  "CMakeFiles/predict_test.dir/predict/predictor_test.cc.o.d"
+  "predict_test"
+  "predict_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/predict_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/samya_bench.dir/samya_bench.cc.o"
+  "CMakeFiles/samya_bench.dir/samya_bench.cc.o.d"
+  "samya_bench"
+  "samya_bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/samya_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/samya_trace.dir/samya_trace.cc.o"
+  "CMakeFiles/samya_trace.dir/samya_trace.cc.o.d"
+  "samya_trace"
+  "samya_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/samya_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
