@@ -3,8 +3,10 @@
 
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "harness/experiment.h"
+#include "harness/parallel_runner.h"
 
 namespace samya::bench {
 
@@ -35,6 +37,18 @@ inline harness::ExperimentResult RunSystem(harness::ExperimentOptions opts) {
   harness::Experiment experiment(opts);
   experiment.Setup();
   return experiment.Run();
+}
+
+/// Runs a sweep of independent experiments across all cores (results in
+/// input order, bit-identical to sequential RunSystem calls — see
+/// harness/parallel_runner.h). Sweep-shaped benches build their full options
+/// vector up front and hand it here.
+inline std::vector<harness::ExperimentResult> RunSweep(
+    std::vector<harness::ExperimentOptions> options) {
+  const int threads = harness::DefaultRunnerThreads();
+  std::printf("[sweep: %zu experiments on %d thread(s)]\n", options.size(),
+              threads);
+  return harness::RunAll(std::move(options), threads);
 }
 
 }  // namespace samya::bench

@@ -25,23 +25,29 @@ int main() {
       {60, "5s"}, {30, "10s"}, {12, "25s"}, {6, "50s"}, {2, "150s"},
       {1, "300s (original)"}};
 
-  std::printf("%-20s %16s %16s %10s\n", "arrival interval", "Samya tps",
-              "MultiPaxSys tps", "ratio");
-  double final_ratio = 0;
+  const SystemKind systems[] = {SystemKind::kSamyaMajority,
+                                SystemKind::kMultiPaxSys};
+  std::vector<ExperimentOptions> sweep;
   for (const Point& p : points) {
-    double tps[2];
-    int i = 0;
-    for (SystemKind system :
-         {SystemKind::kSamyaMajority, SystemKind::kMultiPaxSys}) {
+    for (SystemKind system : systems) {
       ExperimentOptions opts;
       opts.system = system;
       opts.duration = kRun;
       opts.compress_factor = p.compress;
-      auto r = RunSystem(opts);
-      tps[i++] = r.MeanTps(kRun);
+      sweep.push_back(opts);
     }
-    final_ratio = tps[0] / tps[1];
-    std::printf("%-20s %16.2f %16.2f %9.2fx\n", p.label, tps[0], tps[1],
+  }
+  const auto results = RunSweep(std::move(sweep));
+
+  std::printf("%-20s %16s %16s %10s\n", "arrival interval", "Samya tps",
+              "MultiPaxSys tps", "ratio");
+  double final_ratio = 0;
+  size_t idx = 0;
+  for (const Point& p : points) {
+    const double samya_tps = results[idx++].MeanTps(kRun);
+    const double mp_tps = results[idx++].MeanTps(kRun);
+    final_ratio = samya_tps / mp_tps;
+    std::printf("%-20s %16.2f %16.2f %9.2fx\n", p.label, samya_tps, mp_tps,
                 final_ratio);
   }
 

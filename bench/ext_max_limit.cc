@@ -26,30 +26,34 @@ int main() {
               static_cast<long long>(max_demand));
 
   const int64_t limits[] = {mean_demand, 1000, 2500, 5000, 10000, max_demand};
-  std::printf("%-10s %16s %16s %12s\n", "M_e", "Av[(n+1)/2] tps", "Av[*] tps",
-              "rejected");
-  double first_maj = 0, last_maj = 0;
+  const SystemKind systems[] = {SystemKind::kSamyaMajority,
+                                SystemKind::kSamyaAny};
+
+  std::vector<ExperimentOptions> sweep;
   for (int64_t limit : limits) {
-    double tps[2];
-    uint64_t rejected = 0;
-    int i = 0;
-    for (SystemKind system :
-         {SystemKind::kSamyaMajority, SystemKind::kSamyaAny}) {
+    for (SystemKind system : systems) {
       ExperimentOptions opts;
       opts.system = system;
       opts.duration = kRun;
       opts.max_tokens = limit;
-      auto r = RunSystem(opts);
-      tps[i++] = r.MeanTps(kRun);
-      if (system == SystemKind::kSamyaMajority) {
-        rejected = r.aggregate.rejected;
-      }
+      sweep.push_back(opts);
     }
+  }
+  const auto results = RunSweep(std::move(sweep));
+
+  std::printf("%-10s %16s %16s %12s\n", "M_e", "Av[(n+1)/2] tps", "Av[*] tps",
+              "rejected");
+  double first_maj = 0, last_maj = 0;
+  size_t idx = 0;
+  for (int64_t limit : limits) {
+    const auto& maj = results[idx++];
+    const auto& any = results[idx++];
+    const double tps_maj = maj.MeanTps(kRun);
     std::printf("%-10lld %16.1f %16.1f %12llu\n",
-                static_cast<long long>(limit), tps[0], tps[1],
-                static_cast<unsigned long long>(rejected));
-    if (limit == limits[0]) first_maj = tps[0];
-    last_maj = tps[0];
+                static_cast<long long>(limit), tps_maj, any.MeanTps(kRun),
+                static_cast<unsigned long long>(maj.aggregate.rejected));
+    if (limit == limits[0]) first_maj = tps_maj;
+    last_maj = tps_maj;
   }
 
   std::printf("\nthroughput max-limit / mean-limit: %.1fx (paper: ~5x)\n",

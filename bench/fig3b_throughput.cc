@@ -17,20 +17,28 @@ using namespace samya::harness; // NOLINT
 int main() {
   Banner("Fig 3b", "throughput over 1 hour, five systems");
 
+  const SystemKind systems[] = {
+      SystemKind::kSamyaMajority, SystemKind::kSamyaAny,
+      SystemKind::kDemarcation, SystemKind::kMultiPaxSys,
+      SystemKind::kCockroachLike};
+
+  std::vector<ExperimentOptions> sweep;
+  for (SystemKind system : systems) {
+    ExperimentOptions opts;
+    opts.system = system;
+    opts.duration = kHour;
+    sweep.push_back(opts);
+  }
+  const auto results = RunSweep(std::move(sweep));
+
   struct Row {
     SystemKind system;
     ExperimentResult result;
   };
   std::vector<Row> rows;
-  for (SystemKind system :
-       {SystemKind::kSamyaMajority, SystemKind::kSamyaAny,
-        SystemKind::kDemarcation, SystemKind::kMultiPaxSys,
-        SystemKind::kCockroachLike}) {
-    ExperimentOptions opts;
-    opts.system = system;
-    opts.duration = kHour;
-    rows.push_back({system, RunSystem(opts)});
-    PrintSummaryRow(SystemName(system), rows.back().result, kHour);
+  for (size_t i = 0; i < results.size(); ++i) {
+    rows.push_back({systems[i], results[i]});
+    PrintSummaryRow(SystemName(systems[i]), rows.back().result, kHour);
   }
 
   const double samya = rows[0].result.MeanTps(kHour);

@@ -22,15 +22,19 @@ int main() {
       SystemKind::kSamyaNoConstraint, SystemKind::kSamyaMajority,
       SystemKind::kSamyaAny, SystemKind::kSamyaNoRedistribution};
 
-  std::vector<double> tps;
-  std::vector<ExperimentResult> results;
+  std::vector<ExperimentOptions> sweep;
   for (SystemKind system : systems) {
     ExperimentOptions opts;
     opts.system = system;
     opts.duration = kRun;
-    results.push_back(RunSystem(opts));
-    tps.push_back(results.back().MeanTps(kRun));
-    PrintSummaryRow(SystemName(system), results.back(), kRun);
+    sweep.push_back(opts);
+  }
+  const auto results = RunSweep(std::move(sweep));
+
+  std::vector<double> tps;
+  for (size_t i = 0; i < results.size(); ++i) {
+    tps.push_back(results[i].MeanTps(kRun));
+    PrintSummaryRow(SystemName(systems[i]), results[i], kRun);
   }
 
   std::printf("\nrelative to the no-constraint optimum (paper in parens):\n");

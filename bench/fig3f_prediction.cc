@@ -21,15 +21,18 @@ int main() {
       SystemKind::kSamyaMajority, SystemKind::kSamyaMajorityNoPredict,
       SystemKind::kSamyaAny, SystemKind::kSamyaAnyNoPredict};
 
-  std::vector<ExperimentResult> results;
+  std::vector<ExperimentOptions> sweep;
   for (SystemKind system : systems) {
     ExperimentOptions opts;
     opts.system = system;
     opts.duration = kRun;
     // A tighter pool sharpens the prediction benefit: the paper's demand
     // peaks already exceed per-site allocations in this window.
-    results.push_back(RunSystem(opts));
-    PrintSummaryRow(SystemName(system), results.back(), kRun);
+    sweep.push_back(opts);
+  }
+  const auto results = RunSweep(std::move(sweep));
+  for (size_t i = 0; i < results.size(); ++i) {
+    PrintSummaryRow(SystemName(systems[i]), results[i], kRun);
   }
 
   const double with_maj = results[0].MeanTps(kRun);

@@ -17,12 +17,13 @@ int main() {
   Banner("Fig 3g", "throughput and latency, 5 to 20 sites");
 
   constexpr Duration kRun = Minutes(10);
-  std::printf("%-28s %6s %12s %14s\n", "system", "sites", "tps",
-              "mean latency");
-  double tps5_maj = 0, tps20_maj = 0;
-  for (SystemKind system :
-       {SystemKind::kSamyaMajority, SystemKind::kSamyaAny}) {
-    for (int sites : {5, 10, 15, 20}) {
+  const SystemKind systems[] = {SystemKind::kSamyaMajority,
+                                SystemKind::kSamyaAny};
+  const int site_counts[] = {5, 10, 15, 20};
+
+  std::vector<ExperimentOptions> sweep;
+  for (SystemKind system : systems) {
+    for (int sites : site_counts) {
       ExperimentOptions opts;
       opts.system = system;
       opts.num_sites = sites;
@@ -31,7 +32,18 @@ int main() {
       // Iso-pressure scaling: the pool grows with the offered load so each
       // site keeps the paper's 1000-token share (§5.2's per-site allocation).
       opts.max_tokens = 1000 * sites;
-      auto r = RunSystem(opts);
+      sweep.push_back(opts);
+    }
+  }
+  const auto results = RunSweep(std::move(sweep));
+
+  std::printf("%-28s %6s %12s %14s\n", "system", "sites", "tps",
+              "mean latency");
+  double tps5_maj = 0, tps20_maj = 0;
+  size_t idx = 0;
+  for (SystemKind system : systems) {
+    for (int sites : site_counts) {
+      const auto& r = results[idx++];
       const double tps = r.MeanTps(kRun);
       std::printf("%-28s %6d %12.1f %11.2fms\n", SystemName(system), sites,
                   tps, r.aggregate.latency.mean() / 1000.0);

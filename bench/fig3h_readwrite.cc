@@ -24,25 +24,32 @@ int main() {
 
   constexpr Duration kRun = Minutes(10);
   const double ratios[] = {0.0, 0.2, 0.4, 0.5, 0.65, 0.8, 0.9};
+  const SystemKind systems[] = {SystemKind::kSamyaMajority,
+                                SystemKind::kSamyaAny,
+                                SystemKind::kMultiPaxSys};
 
-  std::printf("%-10s %16s %16s %16s\n", "read%", "Av[(n+1)/2] tps",
-              "Av[*] tps", "MultiPaxSys tps");
-  double crossover = -1;
-  double prev_diff = 0;
+  std::vector<ExperimentOptions> sweep;
   for (double ratio : ratios) {
-    double tps[3];
-    int i = 0;
-    for (SystemKind system :
-         {SystemKind::kSamyaMajority, SystemKind::kSamyaAny,
-          SystemKind::kMultiPaxSys}) {
+    for (SystemKind system : systems) {
       ExperimentOptions opts;
       opts.system = system;
       opts.duration = kRun;
       opts.read_ratio = ratio;
       opts.closed_loop = true;
       opts.client_window = 4;
-      tps[i++] = RunSystem(opts).MeanTps(kRun);
+      sweep.push_back(opts);
     }
+  }
+  const auto results = RunSweep(std::move(sweep));
+
+  std::printf("%-10s %16s %16s %16s\n", "read%", "Av[(n+1)/2] tps",
+              "Av[*] tps", "MultiPaxSys tps");
+  double crossover = -1;
+  double prev_diff = 0;
+  size_t idx = 0;
+  for (double ratio : ratios) {
+    double tps[3];
+    for (int i = 0; i < 3; ++i) tps[i] = results[idx++].MeanTps(kRun);
     std::printf("%-10.0f %16.1f %16.1f %16.1f\n", ratio * 100, tps[0], tps[1],
                 tps[2]);
     const double diff = tps[0] - tps[2];

@@ -1,0 +1,153 @@
+// Simulator hot-path performance tracker. Emits BENCH_simperf.json so the
+// events/sec trajectory is visible PR over PR:
+//   - canonical single run: the Fig 3b default configuration (Samya
+//     Avantan[(n+1)/2], 20 simulated minutes), best wall-clock of five runs,
+//     reported as events/sec and messages/sec;
+//   - sweep: the robustness_seeds shape (5 seeds x 2 systems, 20 simulated
+//     minutes each) run sequentially and then through the parallel runner,
+//     reported as a wall-clock speedup. On a single-core machine the speedup
+//     is ~1x by construction; `hardware_threads` is recorded alongside so
+//     numbers from different machines compare honestly.
+//
+// The `baseline_*` fields are the pre-overhaul numbers (commit ebc78eb,
+// std::function events + per-message vector allocations + sequential
+// sweeps), kept in the JSON so the improvement factor is computed against a
+// fixed reference. They were measured by running the seed-commit binary and
+// the optimized binary interleaved (seed, current, seed, current, ...) on
+// the same machine in the same session, best wall-clock of five runs each,
+// so both sides see the same background noise.
+
+#include <chrono>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "harness/parallel_runner.h"
+
+using namespace samya;          // NOLINT
+using namespace samya::bench;   // NOLINT
+using namespace samya::harness; // NOLINT
+
+namespace {
+
+// Pre-PR reference (seed commit ebc78eb, Release, single core): best of
+// five canonical runs, interleaved with runs of the optimized binary.
+constexpr double kBaselineEventsPerSec = 1336562.0;
+constexpr double kBaselineWallSeconds = 1.609;
+
+double Seconds(std::chrono::steady_clock::time_point a,
+               std::chrono::steady_clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+ExperimentOptions CanonicalOptions() {
+  ExperimentOptions opts;  // Fig 3b defaults: Samya Av[(n+1)/2], 5 sites
+  opts.system = SystemKind::kSamyaMajority;
+  opts.duration = Minutes(20);
+  return opts;
+}
+
+std::vector<ExperimentOptions> SweepOptions() {
+  std::vector<ExperimentOptions> sweep;
+  for (uint64_t seed : {42u, 1u, 7u, 1234u, 98765u}) {
+    for (SystemKind system :
+         {SystemKind::kSamyaMajority, SystemKind::kMultiPaxSys}) {
+      ExperimentOptions opts;
+      opts.system = system;
+      opts.duration = Minutes(20);
+      opts.seed = seed;
+      opts.trace.seed = seed * 31 + 5;
+      sweep.push_back(opts);
+    }
+  }
+  return sweep;
+}
+
+}  // namespace
+
+int main() {
+  Banner("micro_simperf", "simulator hot-path events/sec + sweep speedup");
+
+  // --- canonical single run, best of five --------------------------------
+  double best_wall = 1e18;
+  uint64_t events = 0, messages = 0, committed = 0;
+  for (int rep = 0; rep < 5; ++rep) {
+    const auto t0 = std::chrono::steady_clock::now();
+    auto r = RunSystem(CanonicalOptions());
+    const auto t1 = std::chrono::steady_clock::now();
+    const double wall = Seconds(t0, t1);
+    std::printf("canonical run %d: %.3fs  (%.0f events/sec)\n", rep + 1, wall,
+                static_cast<double>(r.events_executed) / wall);
+    if (wall < best_wall) best_wall = wall;
+    events = r.events_executed;
+    messages = r.network.messages_sent;
+    committed = r.aggregate.TotalCommitted();
+  }
+  const double events_per_sec = static_cast<double>(events) / best_wall;
+  const double messages_per_sec = static_cast<double>(messages) / best_wall;
+
+  // --- sweep: sequential vs parallel -------------------------------------
+  const auto s0 = std::chrono::steady_clock::now();
+  const auto seq = RunAll(SweepOptions(), /*threads=*/1);
+  const auto s1 = std::chrono::steady_clock::now();
+  const auto par = RunAll(SweepOptions(), /*threads=*/0);
+  const auto s2 = std::chrono::steady_clock::now();
+  const double seq_wall = Seconds(s0, s1);
+  const double par_wall = Seconds(s1, s2);
+
+  // The parallel path must be a pure reordering of the sequential one.
+  bool identical = seq.size() == par.size();
+  for (size_t i = 0; identical && i < seq.size(); ++i) {
+    identical = seq[i].events_executed == par[i].events_executed &&
+                seq[i].aggregate.TotalCommitted() ==
+                    par[i].aggregate.TotalCommitted() &&
+                seq[i].aggregate.rejected == par[i].aggregate.rejected;
+  }
+
+  const int threads = DefaultRunnerThreads();
+  std::printf("\ncanonical: %.3fs wall, %.0f events/sec (baseline %.0f -> "
+              "%.2fx)\n",
+              best_wall, events_per_sec, kBaselineEventsPerSec,
+              events_per_sec / kBaselineEventsPerSec);
+  std::printf("sweep (10 sims): sequential %.2fs, parallel %.2fs on %d "
+              "thread(s) -> %.2fx, results %s\n",
+              seq_wall, par_wall, threads, seq_wall / par_wall,
+              identical ? "identical" : "MISMATCH");
+
+  FILE* out = std::fopen("BENCH_simperf.json", "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_simperf.json\n");
+    return 1;
+  }
+  std::fprintf(out, "{\n");
+  std::fprintf(out, "  \"canonical_run\": {\n");
+  std::fprintf(out, "    \"config\": \"fig3b samya_majority 20min\",\n");
+  std::fprintf(out, "    \"wall_seconds\": %.4f,\n", best_wall);
+  std::fprintf(out, "    \"events_executed\": %llu,\n",
+               static_cast<unsigned long long>(events));
+  std::fprintf(out, "    \"events_per_sec\": %.0f,\n", events_per_sec);
+  std::fprintf(out, "    \"messages_sent\": %llu,\n",
+               static_cast<unsigned long long>(messages));
+  std::fprintf(out, "    \"messages_per_sec\": %.0f,\n", messages_per_sec);
+  std::fprintf(out, "    \"committed\": %llu,\n",
+               static_cast<unsigned long long>(committed));
+  std::fprintf(out, "    \"baseline_events_per_sec\": %.0f,\n",
+               kBaselineEventsPerSec);
+  std::fprintf(out, "    \"baseline_wall_seconds\": %.4f,\n",
+               kBaselineWallSeconds);
+  std::fprintf(out, "    \"speedup_vs_baseline\": %.3f\n",
+               events_per_sec / kBaselineEventsPerSec);
+  std::fprintf(out, "  },\n");
+  std::fprintf(out, "  \"sweep\": {\n");
+  std::fprintf(out, "    \"config\": \"robustness_seeds 5x2 20min\",\n");
+  std::fprintf(out, "    \"sequential_wall_seconds\": %.3f,\n", seq_wall);
+  std::fprintf(out, "    \"parallel_wall_seconds\": %.3f,\n", par_wall);
+  std::fprintf(out, "    \"parallel_speedup\": %.3f,\n", seq_wall / par_wall);
+  std::fprintf(out, "    \"results_identical\": %s\n",
+               identical ? "true" : "false");
+  std::fprintf(out, "  },\n");
+  std::fprintf(out, "  \"hardware_threads\": %d\n", threads);
+  std::fprintf(out, "}\n");
+  std::fclose(out);
+  std::printf("\nwrote BENCH_simperf.json\n");
+  return identical ? 0 : 1;
+}

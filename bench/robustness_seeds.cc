@@ -15,26 +15,36 @@ int main() {
   Banner("robustness", "Fig 3b headline ratio across seeds (20 min each)");
 
   constexpr Duration kRun = Minutes(20);
-  std::printf("%-8s %14s %16s %10s\n", "seed", "Samya tps", "MultiPaxSys tps",
-              "ratio");
-  double min_ratio = 1e9, max_ratio = 0;
-  for (uint64_t seed : {42u, 1u, 7u, 1234u, 98765u}) {
-    double tps[2];
-    int i = 0;
-    for (SystemKind system :
-         {SystemKind::kSamyaMajority, SystemKind::kMultiPaxSys}) {
+  const uint64_t seeds[] = {42u, 1u, 7u, 1234u, 98765u};
+  const SystemKind systems[] = {SystemKind::kSamyaMajority,
+                                SystemKind::kMultiPaxSys};
+
+  std::vector<ExperimentOptions> sweep;
+  for (uint64_t seed : seeds) {
+    for (SystemKind system : systems) {
       ExperimentOptions opts;
       opts.system = system;
       opts.duration = kRun;
       opts.seed = seed;
       opts.trace.seed = seed * 31 + 5;  // independent workload too
-      tps[i++] = RunSystem(opts).MeanTps(kRun);
+      sweep.push_back(opts);
     }
-    const double ratio = tps[0] / tps[1];
+  }
+  const auto results = RunSweep(std::move(sweep));
+
+  std::printf("%-8s %14s %16s %10s\n", "seed", "Samya tps", "MultiPaxSys tps",
+              "ratio");
+  double min_ratio = 1e9, max_ratio = 0;
+  size_t idx = 0;
+  for (uint64_t seed : seeds) {
+    const double samya_tps = results[idx++].MeanTps(kRun);
+    const double mp_tps = results[idx++].MeanTps(kRun);
+    const double ratio = samya_tps / mp_tps;
     min_ratio = std::min(min_ratio, ratio);
     max_ratio = std::max(max_ratio, ratio);
     std::printf("%-8llu %14.1f %16.1f %9.1fx\n",
-                static_cast<unsigned long long>(seed), tps[0], tps[1], ratio);
+                static_cast<unsigned long long>(seed), samya_tps, mp_tps,
+                ratio);
   }
   std::printf("\nratio range across seeds: %.1fx .. %.1fx (paper: 16-18x)\n",
               min_ratio, max_ratio);

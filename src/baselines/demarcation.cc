@@ -95,6 +95,10 @@ void DemarcationSite::RememberWrite(uint64_t request_id, int64_t value) {
     committed_writes_prev_ = std::move(committed_writes_);
     committed_writes_ = {};
   }
+  if (committed_writes_.bucket_count() < kDedupGenerationSize) {
+    // Pre-size once per generation; see core::Site::RememberWrite.
+    committed_writes_.reserve(kDedupGenerationSize);
+  }
   committed_writes_[request_id] = value;
 }
 

@@ -1,0 +1,11 @@
+#include "common/buffer_pool.h"
+
+namespace samya {
+
+double BufferPool::ReuseRate() const {
+  if (stats_.acquired == 0) return 0.0;
+  return static_cast<double>(stats_.reused) /
+         static_cast<double>(stats_.acquired);
+}
+
+}  // namespace samya

@@ -1,0 +1,78 @@
+#ifndef SAMYA_COMMON_BUFFER_POOL_H_
+#define SAMYA_COMMON_BUFFER_POOL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace samya {
+
+/// \brief Free-list of byte buffers for the message hot path.
+///
+/// `Network::Send` moves one encoded payload per message through the event
+/// queue; without pooling that is a fresh `std::vector` allocation per
+/// message. The pool recycles buffers instead: `Acquire` hands out an empty
+/// vector that keeps the capacity of a previously released one, `Release`
+/// returns a delivered (or dropped) payload for reuse.
+///
+/// Single-threaded by design, like everything else hanging off a
+/// `SimEnvironment`: each simulation owns its own pool, so the parallel
+/// experiment runner needs no locking here.
+class BufferPool {
+ public:
+  struct Stats {
+    uint64_t acquired = 0;   ///< total Acquire calls
+    uint64_t reused = 0;     ///< Acquires served from the free list
+    uint64_t released = 0;   ///< buffers returned
+    uint64_t discarded = 0;  ///< returns dropped (pool full / oversized)
+  };
+
+  explicit BufferPool(size_t max_pooled = kDefaultMaxPooled,
+                      size_t max_buffer_capacity = kDefaultMaxCapacity)
+      : max_pooled_(max_pooled), max_buffer_capacity_(max_buffer_capacity) {}
+
+  /// Returns an empty buffer, reusing a pooled one's capacity if available.
+  /// Inline: runs once per message sent.
+  std::vector<uint8_t> Acquire() {
+    ++stats_.acquired;
+    if (free_.empty()) return {};
+    ++stats_.reused;
+    std::vector<uint8_t> buf = std::move(free_.back());
+    free_.pop_back();
+    return buf;
+  }
+
+  /// Returns `buf` to the pool. Oversized buffers and overflow beyond
+  /// `max_pooled` are simply freed, so the pool's footprint stays bounded.
+  /// Inline: runs once per message delivered or dropped.
+  void Release(std::vector<uint8_t> buf) {
+    ++stats_.released;
+    if (buf.capacity() == 0 || buf.capacity() > max_buffer_capacity_ ||
+        free_.size() >= max_pooled_) {
+      ++stats_.discarded;
+      return;
+    }
+    buf.clear();
+    free_.push_back(std::move(buf));
+  }
+
+  const Stats& stats() const { return stats_; }
+  size_t pooled() const { return free_.size(); }
+
+  /// Fraction of Acquire calls served without allocating (bench metric).
+  double ReuseRate() const;
+
+  static constexpr size_t kDefaultMaxPooled = 4096;
+  static constexpr size_t kDefaultMaxCapacity = 1 << 16;
+
+ private:
+  std::vector<std::vector<uint8_t>> free_;
+  size_t max_pooled_;
+  size_t max_buffer_capacity_;
+  Stats stats_;
+};
+
+}  // namespace samya
+
+#endif  // SAMYA_COMMON_BUFFER_POOL_H_

@@ -44,6 +44,10 @@ class BufferWriter {
   std::vector<uint8_t> Release() { return std::move(buf_); }
   size_t size() const { return buf_.size(); }
 
+  /// Empties the writer but keeps its capacity, so a long-lived scratch
+  /// writer on a hot path (e.g. `Site::Persist`) stops re-allocating.
+  void Clear() { buf_.clear(); }
+
  private:
   std::vector<uint8_t> buf_;
 };
@@ -73,6 +77,11 @@ class BufferReader {
   bool Done() const { return pos_ == size_; }
   size_t position() const { return pos_; }
 
+  /// Raw access to the underlying bytes. Lets a relay forward the exact
+  /// encoded span `[start_position, position())` it just decoded without
+  /// re-encoding it.
+  const uint8_t* data() const { return data_; }
+
  private:
   Status Need(size_t n) const;
 
@@ -80,6 +89,147 @@ class BufferReader {
   size_t size_;
   size_t pos_;
 };
+
+
+// Inline definitions. The codec sits under every message send and every
+// decode on the simulator hot path (tens of millions of calls per bench
+// run), so these stay in the header where they can inline into callers.
+
+// The fixed-width putters grow the buffer once and then store bytes, rather
+// than paying a capacity check per byte via push_back; the shift-based
+// stores compile to a single unaligned store on little-endian targets.
+
+inline void BufferWriter::PutU16(uint16_t v) {
+  const size_t n = buf_.size();
+  buf_.resize(n + 2);
+  buf_[n] = static_cast<uint8_t>(v & 0xff);
+  buf_[n + 1] = static_cast<uint8_t>(v >> 8);
+}
+
+inline void BufferWriter::PutU32(uint32_t v) {
+  const size_t n = buf_.size();
+  buf_.resize(n + 4);
+  for (int i = 0; i < 4; ++i)
+    buf_[n + i] = static_cast<uint8_t>((v >> (8 * i)) & 0xff);
+}
+
+inline void BufferWriter::PutU64(uint64_t v) {
+  const size_t n = buf_.size();
+  buf_.resize(n + 8);
+  for (int i = 0; i < 8; ++i)
+    buf_[n + i] = static_cast<uint8_t>((v >> (8 * i)) & 0xff);
+}
+
+inline void BufferWriter::PutDouble(double v) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(bits);
+}
+
+inline void BufferWriter::PutVarint(uint64_t v) {
+  while (v >= 0x80) {
+    PutU8(static_cast<uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  PutU8(static_cast<uint8_t>(v));
+}
+
+inline void BufferWriter::PutVarintSigned(int64_t v) {
+  // Zig-zag: maps small-magnitude signed values to small varints.
+  PutVarint((static_cast<uint64_t>(v) << 1) ^
+            static_cast<uint64_t>(v >> 63));
+}
+
+inline void BufferWriter::PutString(const std::string& s) {
+  PutVarint(s.size());
+  buf_.insert(buf_.end(), s.begin(), s.end());
+}
+
+inline void BufferWriter::PutBytes(const uint8_t* data, size_t n) {
+  buf_.insert(buf_.end(), data, data + n);
+}
+
+inline Status BufferReader::Need(size_t n) const {
+  if (size_ - pos_ < n) {
+    return Status::Corruption("buffer underflow: need " + std::to_string(n) +
+                              " bytes, have " + std::to_string(size_ - pos_));
+  }
+  return Status::OK();
+}
+
+inline Result<uint8_t> BufferReader::GetU8() {
+  SAMYA_RETURN_IF_ERROR(Need(1));
+  return data_[pos_++];
+}
+
+inline Result<uint16_t> BufferReader::GetU16() {
+  SAMYA_RETURN_IF_ERROR(Need(2));
+  uint16_t v = static_cast<uint16_t>(data_[pos_]) |
+               static_cast<uint16_t>(data_[pos_ + 1]) << 8;
+  pos_ += 2;
+  return v;
+}
+
+inline Result<uint32_t> BufferReader::GetU32() {
+  SAMYA_RETURN_IF_ERROR(Need(4));
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(data_[pos_ + i]) << (8 * i);
+  pos_ += 4;
+  return v;
+}
+
+inline Result<uint64_t> BufferReader::GetU64() {
+  SAMYA_RETURN_IF_ERROR(Need(8));
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(data_[pos_ + i]) << (8 * i);
+  pos_ += 8;
+  return v;
+}
+
+inline Result<int64_t> BufferReader::GetI64() {
+  SAMYA_ASSIGN_OR_RETURN(uint64_t v, GetU64());
+  return static_cast<int64_t>(v);
+}
+
+inline Result<double> BufferReader::GetDouble() {
+  SAMYA_ASSIGN_OR_RETURN(uint64_t bits, GetU64());
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+inline Result<uint64_t> BufferReader::GetVarint() {
+  uint64_t v = 0;
+  int shift = 0;
+  for (;;) {
+    if (shift >= 64) return Status::Corruption("varint too long");
+    SAMYA_ASSIGN_OR_RETURN(uint8_t b, GetU8());
+    v |= static_cast<uint64_t>(b & 0x7f) << shift;
+    if ((b & 0x80) == 0) break;
+    shift += 7;
+  }
+  return v;
+}
+
+inline Result<int64_t> BufferReader::GetVarintSigned() {
+  SAMYA_ASSIGN_OR_RETURN(uint64_t z, GetVarint());
+  return static_cast<int64_t>((z >> 1) ^ (~(z & 1) + 1));
+}
+
+inline Result<std::string> BufferReader::GetString() {
+  SAMYA_ASSIGN_OR_RETURN(uint64_t n, GetVarint());
+  SAMYA_RETURN_IF_ERROR(Need(n));
+  std::string s(reinterpret_cast<const char*>(data_ + pos_), n);
+  pos_ += n;
+  return s;
+}
+
+inline Result<bool> BufferReader::GetBool() {
+  SAMYA_ASSIGN_OR_RETURN(uint8_t b, GetU8());
+  if (b > 1) return Status::Corruption("invalid bool byte");
+  return b == 1;
+}
 
 }  // namespace samya
 

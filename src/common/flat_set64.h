@@ -1,0 +1,113 @@
+#ifndef SAMYA_COMMON_FLAT_SET64_H_
+#define SAMYA_COMMON_FLAT_SET64_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace samya {
+
+/// \brief Open-addressing set of non-zero `uint64_t` keys.
+///
+/// Replaces `std::unordered_set<uint64_t>` where insert/erase sit on a hot
+/// path — e.g. the per-request timer bookkeeping in `sim::Node`, where a
+/// timer is armed and cancelled for every client request and every Avantan
+/// round. Linear probing over a flat power-of-two table; deletion uses
+/// backward-shift (no tombstones), so lookups stay one cache-friendly scan.
+///
+/// Key 0 marks empty slots and is reserved: it is never stored, and
+/// `contains(0)`/`erase(0)`/`insert(0)` are well-defined no-ops (false/0) —
+/// callers like `Node::CancelTimer` pass 0 for a never-armed timer id.
+class FlatSet64 {
+ public:
+  FlatSet64() = default;
+
+  bool contains(uint64_t key) const {
+    if (key == 0 || size_ == 0) return false;
+    size_t i = Slot(key);
+    while (slots_[i] != 0) {
+      if (slots_[i] == key) return true;
+      i = (i + 1) & mask_;
+    }
+    return false;
+  }
+
+  /// Returns true if the key was inserted (false if already present or 0).
+  bool insert(uint64_t key) {
+    if (key == 0) return false;
+    if (slots_.empty() || size_ * 4 >= slots_.size() * 3) Grow();
+    size_t i = Slot(key);
+    while (slots_[i] != 0) {
+      if (slots_[i] == key) return false;
+      i = (i + 1) & mask_;
+    }
+    slots_[i] = key;
+    ++size_;
+    return true;
+  }
+
+  /// Returns the number of elements removed (0 or 1).
+  size_t erase(uint64_t key) {
+    if (key == 0 || size_ == 0) return 0;
+    size_t i = Slot(key);
+    while (slots_[i] != key) {
+      if (slots_[i] == 0) return 0;
+      i = (i + 1) & mask_;
+    }
+    // Backward-shift deletion: close the hole so probe chains stay intact.
+    size_t hole = i;
+    size_t j = (i + 1) & mask_;
+    while (slots_[j] != 0) {
+      const size_t home = Slot(slots_[j]);
+      // Move slots_[j] into the hole iff the hole lies on its probe path.
+      const bool movable = ((j - home) & mask_) >= ((j - hole) & mask_);
+      if (movable) {
+        slots_[hole] = slots_[j];
+        hole = j;
+      }
+      j = (j + 1) & mask_;
+    }
+    slots_[hole] = 0;
+    --size_;
+    return 1;
+  }
+
+  void clear() {
+    slots_.assign(slots_.size(), 0);
+    size_ = 0;
+  }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  size_t capacity() const { return slots_.size(); }
+
+ private:
+  static uint64_t Mix(uint64_t x) {
+    // splitmix64 finaliser: sequential timer ids scatter across the table.
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+  }
+
+  size_t Slot(uint64_t key) const { return Mix(key) & mask_; }
+
+  void Grow() {
+    const size_t cap = slots_.empty() ? 16 : slots_.size() * 2;
+    std::vector<uint64_t> old = std::move(slots_);
+    slots_.assign(cap, 0);
+    mask_ = cap - 1;
+    size_ = 0;
+    for (uint64_t key : old) {
+      if (key != 0) insert(key);
+    }
+  }
+
+  std::vector<uint64_t> slots_;
+  size_t mask_ = 0;
+  size_t size_ = 0;
+};
+
+}  // namespace samya
+
+#endif  // SAMYA_COMMON_FLAT_SET64_H_

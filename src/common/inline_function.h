@@ -1,0 +1,149 @@
+#ifndef SAMYA_COMMON_INLINE_FUNCTION_H_
+#define SAMYA_COMMON_INLINE_FUNCTION_H_
+
+#include <cstddef>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace samya {
+
+/// \file
+/// `InlineFunction<R(Args...)>`: a move-only callable wrapper with small
+/// buffer optimisation, built for the simulator's event hot path. Unlike
+/// `std::function` it
+///   - never copies the wrapped callable (move-only, so captures may hold
+///     move-only state such as pooled buffers),
+///   - stores callables up to `InlineBytes` (default 48) in place, which
+///     covers every closure the simulator schedules — no per-event heap
+///     allocation,
+///   - relocates trivially-copyable inline callables with `memcpy`
+///     (`manage_ == nullptr`), which is what keeps d-ary heap sifts cheap.
+/// Larger or over-aligned callables fall back to a single heap allocation.
+
+inline constexpr size_t kInlineFunctionBytes = 48;
+
+template <typename Signature, size_t InlineBytes = kInlineFunctionBytes>
+class InlineFunction;  // undefined; only the R(Args...) partial below exists
+
+template <typename R, typename... Args, size_t InlineBytes>
+class InlineFunction<R(Args...), InlineBytes> {
+ public:
+  InlineFunction() noexcept = default;
+
+  template <typename F,
+            typename D = std::decay_t<F>,
+            typename = std::enable_if_t<
+                !std::is_same_v<D, InlineFunction> &&
+                std::is_invocable_r_v<R, D&, Args...>>>
+  InlineFunction(F&& f) {  // NOLINT(google-explicit-constructor)
+    if constexpr (kStoreInline<D>) {
+      ::new (static_cast<void*>(buf_)) D(std::forward<F>(f));
+      invoke_ = &InlineInvoke<D>;
+      if constexpr (!std::is_trivially_copyable_v<D>) {
+        manage_ = &InlineManage<D>;
+      }
+    } else {
+      *reinterpret_cast<D**>(buf_) = new D(std::forward<F>(f));
+      invoke_ = &HeapInvoke<D>;
+      manage_ = &HeapManage<D>;
+      heap_ = true;
+    }
+  }
+
+  InlineFunction(InlineFunction&& other) noexcept { MoveFrom(other); }
+
+  InlineFunction& operator=(InlineFunction&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      MoveFrom(other);
+    }
+    return *this;
+  }
+
+  InlineFunction(const InlineFunction&) = delete;
+  InlineFunction& operator=(const InlineFunction&) = delete;
+
+  ~InlineFunction() { Reset(); }
+
+  R operator()(Args... args) {
+    return invoke_(buf_, std::forward<Args>(args)...);
+  }
+
+  explicit operator bool() const noexcept { return invoke_ != nullptr; }
+
+  /// True when the wrapped callable lives in the inline buffer (test hook).
+  bool is_inline() const noexcept {
+    return invoke_ != nullptr && heap_ == false;
+  }
+
+ private:
+  enum class Op { kMoveDestroySrc, kDestroy };
+
+  template <typename D>
+  static constexpr bool kStoreInline =
+      sizeof(D) <= InlineBytes && alignof(D) <= alignof(std::max_align_t) &&
+      std::is_move_constructible_v<D>;
+
+  template <typename D>
+  static R InlineInvoke(void* buf, Args&&... args) {
+    return (*std::launder(reinterpret_cast<D*>(buf)))(
+        std::forward<Args>(args)...);
+  }
+
+  template <typename D>
+  static void InlineManage(Op op, void* dst, void* src) {
+    D* s = std::launder(reinterpret_cast<D*>(src));
+    if (op == Op::kMoveDestroySrc) {
+      ::new (dst) D(std::move(*s));
+    }
+    s->~D();
+  }
+
+  template <typename D>
+  static R HeapInvoke(void* buf, Args&&... args) {
+    return (**reinterpret_cast<D**>(buf))(std::forward<Args>(args)...);
+  }
+
+  template <typename D>
+  static void HeapManage(Op op, void* dst, void* src) {
+    if (op == Op::kMoveDestroySrc) {
+      std::memcpy(dst, src, sizeof(D*));  // transfer ownership of the pointer
+    } else {
+      delete *reinterpret_cast<D**>(src);
+    }
+  }
+
+  void MoveFrom(InlineFunction& other) noexcept {
+    invoke_ = other.invoke_;
+    manage_ = other.manage_;
+    heap_ = other.heap_;
+    if (invoke_ != nullptr) {
+      if (manage_ != nullptr) {
+        manage_(Op::kMoveDestroySrc, buf_, other.buf_);
+      } else {
+        std::memcpy(buf_, other.buf_, InlineBytes);
+      }
+    }
+    other.invoke_ = nullptr;
+    other.manage_ = nullptr;
+    other.heap_ = false;
+  }
+
+  void Reset() noexcept {
+    if (manage_ != nullptr) manage_(Op::kDestroy, nullptr, buf_);
+    invoke_ = nullptr;
+    manage_ = nullptr;
+    heap_ = false;
+  }
+
+  alignas(std::max_align_t) unsigned char buf_[InlineBytes];
+  R (*invoke_)(void*, Args&&...) = nullptr;
+  void (*manage_)(Op, void* dst, void* src) = nullptr;
+  bool heap_ = false;
+};
+
+}  // namespace samya
+
+#endif  // SAMYA_COMMON_INLINE_FUNCTION_H_

@@ -1,7 +1,5 @@
 #include "common/random.h"
 
-#include "common/macros.h"
-
 namespace samya {
 
 namespace {
@@ -15,76 +13,12 @@ uint64_t SplitMix64(uint64_t& x) {
   return z ^ (z >> 31);
 }
 
-uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
-
 }  // namespace
 
 void Rng::Seed(uint64_t seed) {
   uint64_t x = seed;
   for (auto& s : s_) s = SplitMix64(x);
   has_spare_gaussian_ = false;
-}
-
-uint64_t Rng::Next() {
-  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
-  const uint64_t t = s_[1] << 17;
-  s_[2] ^= s_[0];
-  s_[3] ^= s_[1];
-  s_[1] ^= s_[2];
-  s_[0] ^= s_[3];
-  s_[2] ^= t;
-  s_[3] = Rotl(s_[3], 45);
-  return result;
-}
-
-uint64_t Rng::NextUint64(uint64_t n) {
-  SAMYA_CHECK_GT(n, 0u);
-  // Rejection sampling to avoid modulo bias.
-  const uint64_t threshold = -n % n;
-  for (;;) {
-    uint64_t r = Next();
-    if (r >= threshold) return r % n;
-  }
-}
-
-int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
-  SAMYA_CHECK_LE(lo, hi);
-  return lo + static_cast<int64_t>(
-                  NextUint64(static_cast<uint64_t>(hi - lo) + 1));
-}
-
-double Rng::NextDouble() {
-  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
-}
-
-double Rng::Uniform(double lo, double hi) {
-  return lo + (hi - lo) * NextDouble();
-}
-
-double Rng::NextGaussian() {
-  if (has_spare_gaussian_) {
-    has_spare_gaussian_ = false;
-    return spare_gaussian_;
-  }
-  double u1 = 0.0;
-  do {
-    u1 = NextDouble();
-  } while (u1 <= 1e-300);
-  const double u2 = NextDouble();
-  const double r = std::sqrt(-2.0 * std::log(u1));
-  const double theta = 2.0 * M_PI * u2;
-  spare_gaussian_ = r * std::sin(theta);
-  has_spare_gaussian_ = true;
-  return r * std::cos(theta);
-}
-
-double Rng::Exponential(double mean) {
-  SAMYA_CHECK_GT(mean, 0.0);
-  double u = 0.0;
-  do {
-    u = NextDouble();
-  } while (u <= 1e-300);
-  return -mean * std::log(u);
 }
 
 int64_t Rng::Poisson(double mean) {

@@ -4,6 +4,8 @@
 #include <cstdint>
 #include <cmath>
 
+#include "common/macros.h"
+
 namespace samya {
 
 /// \brief Deterministic, seedable PRNG (xoshiro256**).
@@ -11,6 +13,10 @@ namespace samya {
 /// Every stochastic component (network jitter, workload noise, fault
 /// schedules, model initialization) draws from its own `Rng` stream derived
 /// from the experiment seed, so a seed fully determines a run.
+///
+/// The draw functions are defined inline: the latency model samples per
+/// message and the workload generator per VM, which together is millions of
+/// calls per benchmark run.
 class Rng {
  public:
   explicit Rng(uint64_t seed) { Seed(seed); }
@@ -18,22 +24,73 @@ class Rng {
   void Seed(uint64_t seed);
 
   /// Uniform 64-bit value.
-  uint64_t Next();
+  uint64_t Next() {
+    const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
 
   /// Uniform in [0, n). Requires n > 0.
-  uint64_t NextUint64(uint64_t n);
+  uint64_t NextUint64(uint64_t n) {
+    SAMYA_CHECK_GT(n, 0u);
+    // Rejection sampling to avoid modulo bias.
+    const uint64_t threshold = -n % n;
+    for (;;) {
+      uint64_t r = Next();
+      if (r >= threshold) return r % n;
+    }
+  }
 
   /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
-  int64_t UniformInt(int64_t lo, int64_t hi);
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    SAMYA_CHECK_LE(lo, hi);
+    return lo + static_cast<int64_t>(
+                    NextUint64(static_cast<uint64_t>(hi - lo) + 1));
+  }
 
   /// Uniform double in [0, 1).
-  double NextDouble();
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
 
   /// Uniform double in [lo, hi).
-  double Uniform(double lo, double hi);
+  double Uniform(double lo, double hi) {
+    return lo + (hi - lo) * NextDouble();
+  }
 
   /// Standard normal via Box-Muller.
-  double NextGaussian();
+  double NextGaussian() {
+    if (has_spare_gaussian_) {
+      has_spare_gaussian_ = false;
+      return spare_gaussian_;
+    }
+    double u1 = 0.0;
+    do {
+      u1 = NextDouble();
+    } while (u1 <= 1e-300);
+    const double u2 = NextDouble();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * M_PI * u2;
+    double sin_theta;
+    double cos_theta;
+#if defined(__GNUC__)
+    // One fused libm call for the pair; bit-identical to separate
+    // sin/cos on glibc, and this runs once per message for latency jitter.
+    __builtin_sincos(theta, &sin_theta, &cos_theta);
+#else
+    sin_theta = std::sin(theta);
+    cos_theta = std::cos(theta);
+#endif
+    spare_gaussian_ = r * sin_theta;
+    has_spare_gaussian_ = true;
+    return r * cos_theta;
+  }
 
   /// Gaussian with the given mean / stddev.
   double Gaussian(double mean, double stddev) {
@@ -44,7 +101,14 @@ class Rng {
   bool Bernoulli(double p) { return NextDouble() < p; }
 
   /// Exponentially distributed value with the given mean. mean > 0.
-  double Exponential(double mean);
+  double Exponential(double mean) {
+    SAMYA_CHECK_GT(mean, 0.0);
+    double u = 0.0;
+    do {
+      u = NextDouble();
+    } while (u <= 1e-300);
+    return -mean * std::log(u);
+  }
 
   /// Poisson-distributed count with the given mean (mean < ~700).
   int64_t Poisson(double mean);
@@ -54,6 +118,10 @@ class Rng {
   Rng Fork(uint64_t tag);
 
  private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
   uint64_t s_[4];
   bool has_spare_gaussian_ = false;
   double spare_gaussian_ = 0.0;

@@ -70,6 +70,49 @@ struct TokenResponse {
   static Result<TokenResponse> DecodeFrom(BufferReader& r);
 };
 
+
+// Inline definitions. Both messages cross the wire once per client
+// transaction in every system, so the codecs stay in the header where the
+// varint loops and `Result` plumbing inline into the handler loops.
+
+inline void TokenRequest::EncodeTo(BufferWriter& w) const {
+  w.PutU64(request_id);
+  w.PutVarint(entity);
+  w.PutU8(static_cast<uint8_t>(op));
+  w.PutVarintSigned(amount);
+}
+
+inline Result<TokenRequest> TokenRequest::DecodeFrom(BufferReader& r) {
+  TokenRequest req;
+  SAMYA_ASSIGN_OR_RETURN(req.request_id, r.GetU64());
+  SAMYA_ASSIGN_OR_RETURN(uint64_t entity, r.GetVarint());
+  req.entity = static_cast<uint32_t>(entity);
+  SAMYA_ASSIGN_OR_RETURN(uint8_t op, r.GetU8());
+  if (op < 1 || op > 3) return Status::Corruption("bad token op");
+  req.op = static_cast<TokenOp>(op);
+  SAMYA_ASSIGN_OR_RETURN(req.amount, r.GetVarintSigned());
+  return req;
+}
+
+inline void TokenResponse::EncodeTo(BufferWriter& w) const {
+  w.PutU64(request_id);
+  w.PutU8(static_cast<uint8_t>(status));
+  w.PutVarintSigned(value);
+  w.PutVarintSigned(leader_hint);
+}
+
+inline Result<TokenResponse> TokenResponse::DecodeFrom(BufferReader& r) {
+  TokenResponse resp;
+  SAMYA_ASSIGN_OR_RETURN(resp.request_id, r.GetU64());
+  SAMYA_ASSIGN_OR_RETURN(uint8_t status, r.GetU8());
+  if (status < 1 || status > 4) return Status::Corruption("bad token status");
+  resp.status = static_cast<TokenStatus>(status);
+  SAMYA_ASSIGN_OR_RETURN(resp.value, r.GetVarintSigned());
+  SAMYA_ASSIGN_OR_RETURN(int64_t hint, r.GetVarintSigned());
+  resp.leader_hint = static_cast<int32_t>(hint);
+  return resp;
+}
+
 }  // namespace samya
 
 #endif  // SAMYA_COMMON_TOKEN_API_H_

@@ -8,23 +8,21 @@ AppManager::AppManager(sim::NodeId id, sim::Region region,
                        AppManagerOptions opts)
     : Node(id, region), opts_(std::move(opts)) {
   SAMYA_CHECK(!opts_.sites.empty());
+  inflight_.reserve(256);
 }
 
 void AppManager::HandleMessage(sim::NodeId from, uint32_t type,
                                BufferReader& r) {
   if (type == kMsgTokenRequest) {
-    // Peek the request id without consuming the payload: we need the raw
-    // bytes to forward verbatim.
+    // Decode for the request id, but keep the raw encoded span so the relay
+    // forwards the client's bytes verbatim instead of re-encoding them.
     const size_t start = r.position();
     auto req = TokenRequest::DecodeFrom(r);
     if (!req.ok()) return;
-    (void)start;
-    BufferWriter payload;
-    req->EncodeTo(payload);
 
     Inflight entry;
     entry.client = from;
-    entry.request = payload.Release();
+    entry.request.assign(r.data() + start, r.data() + r.position());
     if (opts_.rotate_over > 1) {
       entry.site_index = rotation_++ % opts_.rotate_over;
     }
@@ -38,9 +36,9 @@ void AppManager::HandleMessage(sim::NodeId from, uint32_t type,
   auto it = inflight_.find(resp->request_id);
   if (it == inflight_.end()) return;  // stale (timed out / crashed meanwhile)
   CancelTimer(it->second.timer);
-  BufferWriter w;
-  resp->EncodeTo(w);
-  Send(it->second.client, kMsgTokenResponse, w);
+  send_scratch_.Clear();
+  resp->EncodeTo(send_scratch_);
+  Send(it->second.client, kMsgTokenResponse, send_scratch_);
   inflight_.erase(it);
 }
 
@@ -48,9 +46,7 @@ void AppManager::RelayTo(uint64_t request_id, Inflight& entry) {
   const sim::NodeId site = opts_.sites[entry.site_index % opts_.sites.size()];
   ++entry.attempts;
   ++relayed_;
-  BufferWriter w;
-  w.PutBytes(entry.request.data(), entry.request.size());
-  Send(site, kMsgTokenRequest, w);
+  Send(site, kMsgTokenRequest, entry.request.data(), entry.request.size());
   entry.timer = SetTimer(opts_.site_timeout, request_id);
 }
 

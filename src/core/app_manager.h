@@ -1,7 +1,7 @@
 #ifndef SAMYA_CORE_APP_MANAGER_H_
 #define SAMYA_CORE_APP_MANAGER_H_
 
-#include <map>
+#include <unordered_map>
 
 #include "common/token_api.h"
 #include "sim/node.h"
@@ -51,9 +51,14 @@ class AppManager : public sim::Node {
   void RelayTo(uint64_t request_id, Inflight& entry);
 
   AppManagerOptions opts_;
-  std::map<uint64_t, Inflight> inflight_;
+  // Keyed lookups only (no ordered iteration), and one insert+erase per
+  // relayed request, so a pre-sized hash map beats the red-black tree.
+  std::unordered_map<uint64_t, Inflight> inflight_;
   uint64_t relayed_ = 0;
   size_t rotation_ = 0;
+  // Reused for every response forwarded back to a client; `Send` copies the
+  // bytes out synchronously, so one scratch writer per manager is safe.
+  BufferWriter send_scratch_;
 };
 
 }  // namespace samya::core

@@ -267,6 +267,12 @@ class Site : public sim::Node {
   void RememberWrite(uint64_t request_id, int64_t value);
   const int64_t* LookupWrite(uint64_t request_id) const;
 
+  // Reused by Persist (runs per commit) so it stops allocating per call.
+  BufferWriter persist_scratch_;
+  // Reused by Respond (runs per client request); distinct from
+  // persist_scratch_ because Persist can run inside the same call chain.
+  BufferWriter send_scratch_;
+
   // Reads.
   uint64_t next_read_id_ = 1;
   std::map<uint64_t, PendingRead> reads_;

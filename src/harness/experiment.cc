@@ -60,17 +60,24 @@ Experiment::Experiment(ExperimentOptions opts) : opts_(std::move(opts)) {
   SAMYA_CHECK_GE(opts_.num_sites, 1);
 }
 
+const workload::DemandTrace& Experiment::CompressedBaseTrace() const {
+  if (compressed_base_ == nullptr) {
+    auto trace = workload::GenerateAzureTrace(opts_.trace);
+    double scale = opts_.load_scale;
+    if (opts_.scale_load_with_sites) {
+      scale *= static_cast<double>(opts_.num_sites) / 5.0;
+    }
+    if (scale != 1.0) {
+      trace = workload::ScaleCounts(trace, scale, opts_.seed + 100);
+    }
+    compressed_base_ = std::make_unique<workload::DemandTrace>(
+        workload::CompressTime(trace, opts_.compress_factor));
+  }
+  return *compressed_base_;
+}
+
 std::vector<double> Experiment::RegionDemandSeries(int region_index) const {
-  workload::AzureTraceOptions topts = opts_.trace;
-  auto trace = workload::GenerateAzureTrace(topts);
-  double scale = opts_.load_scale;
-  if (opts_.scale_load_with_sites) {
-    scale *= static_cast<double>(opts_.num_sites) / 5.0;
-  }
-  if (scale != 1.0) {
-    trace = workload::ScaleCounts(trace, scale, opts_.seed + 100);
-  }
-  auto compressed = workload::CompressTime(trace, opts_.compress_factor);
+  const workload::DemandTrace& compressed = CompressedBaseTrace();
   const Duration day = compressed.interval() * 288;
   auto shifted = workload::PhaseShift(
       compressed, day * region_index / 5);
@@ -215,16 +222,7 @@ void Experiment::SetupReplicated() {
 void Experiment::AddClients(
     const std::vector<std::vector<sim::NodeId>>& servers_per_region) {
   for (int r = 0; r < 5; ++r) {
-    workload::AzureTraceOptions topts = opts_.trace;
-    auto trace = workload::GenerateAzureTrace(topts);
-    double scale = opts_.load_scale;
-    if (opts_.scale_load_with_sites) {
-      scale *= static_cast<double>(opts_.num_sites) / 5.0;
-    }
-    if (scale != 1.0) {
-      trace = workload::ScaleCounts(trace, scale, opts_.seed + 100);
-    }
-    auto compressed = workload::CompressTime(trace, opts_.compress_factor);
+    const workload::DemandTrace& compressed = CompressedBaseTrace();
     const Duration day = compressed.interval() * 288;
     auto shifted = workload::PhaseShift(compressed, day * r / 5);
 

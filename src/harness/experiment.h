@@ -119,8 +119,13 @@ class Experiment {
   void SetupDemarcation();
   void AddClients(const std::vector<std::vector<sim::NodeId>>& servers_per_region);
   std::vector<double> RegionDemandSeries(int region_index) const;
+  /// The generated, load-scaled, time-compressed base trace. Every region's
+  /// demand is a phase shift of this one series, so it is computed once and
+  /// cached — regenerating it per region/site dominated `Setup` cost.
+  const workload::DemandTrace& CompressedBaseTrace() const;
 
   ExperimentOptions opts_;
+  mutable std::unique_ptr<workload::DemandTrace> compressed_base_;
   std::unique_ptr<sim::Cluster> cluster_;
   std::unique_ptr<sim::FaultInjector> faults_;
   std::vector<core::Site*> sites_;

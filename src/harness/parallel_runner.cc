@@ -1,0 +1,58 @@
+#include "harness/parallel_runner.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <thread>
+#include <utility>
+
+namespace samya::harness {
+
+int DefaultRunnerThreads() {
+  if (const char* env = std::getenv("SAMYA_BENCH_THREADS")) {
+    const int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+std::vector<ExperimentResult> RunAll(std::vector<ExperimentOptions> options,
+                                     int threads) {
+  if (threads <= 0) threads = DefaultRunnerThreads();
+  const size_t n = options.size();
+  std::vector<ExperimentResult> results(n);
+
+  auto run_one = [&](size_t i) {
+    Experiment experiment(options[i]);
+    experiment.Setup();
+    results[i] = experiment.Run();
+  };
+
+  if (threads == 1 || n <= 1) {
+    for (size_t i = 0; i < n; ++i) run_one(i);
+    return results;
+  }
+
+  // Work-stealing by atomic index: each worker claims the next experiment.
+  // Experiments are independent and each owns its whole simulation, so no
+  // synchronisation beyond the claim counter is needed.
+  std::atomic<size_t> next{0};
+  auto worker = [&]() {
+    for (;;) {
+      const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      run_one(i);
+    }
+  };
+
+  const size_t num_workers =
+      std::min(static_cast<size_t>(threads), n);
+  std::vector<std::thread> pool;
+  pool.reserve(num_workers);
+  for (size_t t = 0; t < num_workers; ++t) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
+  return results;
+}
+
+}  // namespace samya::harness

@@ -20,6 +20,7 @@ WorkloadClient::WorkloadClient(sim::NodeId id, sim::Region region,
   // Request ids must be globally unique: clients can share an app manager,
   // which keys its routing table by request id.
   next_request_id_ = (static_cast<uint64_t>(id) << 40) + 1;
+  outstanding_.reserve(64);
 }
 
 void WorkloadClient::Start() { ScheduleNext(); }
@@ -91,14 +92,15 @@ void WorkloadClient::IssueNext() {
     out.first_sent = Now();
     ++stats_.sent;
     const uint64_t id = out.request.request_id;
-    outstanding_[id] = out;
+    Outstanding& slot = outstanding_[id];
+    slot = out;
     // Prefer a learned leader hint if it is one of our candidate servers;
     // otherwise the closest server.
     sim::NodeId target = PreferredServer();
     for (sim::NodeId s : opts_.servers) {
       if (s == leader_hint_) target = leader_hint_;
     }
-    SendTo(outstanding_[id], target);
+    SendTo(slot, target);
   }
   ScheduleNext();
 }
@@ -106,9 +108,9 @@ void WorkloadClient::IssueNext() {
 void WorkloadClient::SendTo(Outstanding& out, sim::NodeId target) {
   ++out.attempts;
   out.target = target;
-  BufferWriter w;
-  out.request.EncodeTo(w);
-  Send(target, kMsgTokenRequest, w);
+  send_scratch_.Clear();
+  out.request.EncodeTo(send_scratch_);
+  Send(target, kMsgTokenRequest, send_scratch_);
   out.timeout_timer =
       SetTimer(opts_.request_timeout, TimeoutToken(out.request.request_id));
 }

@@ -1,7 +1,7 @@
 #ifndef SAMYA_HARNESS_WORKLOAD_CLIENT_H_
 #define SAMYA_HARNESS_WORKLOAD_CLIENT_H_
 
-#include <map>
+#include <unordered_map>
 #include <vector>
 
 #include "common/histogram.h"
@@ -91,10 +91,16 @@ class WorkloadClient : public sim::Node {
   size_t next_request_ = 0;
   uint64_t next_request_id_ = 1;
   sim::NodeId leader_hint_ = sim::kInvalidNode;
-  std::map<uint64_t, Outstanding> outstanding_;
+  // Keyed lookups only, never iterated in order; bounded by the client
+  // window, so a small pre-sized hash map avoids a node allocation per
+  // request.
+  std::unordered_map<uint64_t, Outstanding> outstanding_;
   bool issue_timer_armed_ = false;  ///< at most one pending issue timer
   int64_t balance_ = 0;  ///< tokens acquired minus tokens released
   ClientStats stats_;
+  // Reused for every request sent; `Send` copies the bytes out
+  // synchronously, so one scratch writer per client is safe.
+  BufferWriter send_scratch_;
 };
 
 }  // namespace samya::harness

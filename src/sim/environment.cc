@@ -4,26 +4,6 @@
 
 namespace samya::sim {
 
-void SimEnvironment::Schedule(Duration delay, std::function<void()> fn) {
-  if (delay < 0) delay = 0;
-  ScheduleAt(now_ + delay, std::move(fn));
-}
-
-void SimEnvironment::ScheduleAt(SimTime t, std::function<void()> fn) {
-  SAMYA_CHECK_GE(t, now_);
-  queue_.Push(t, next_seq_++, std::move(fn));
-}
-
-bool SimEnvironment::Step() {
-  if (queue_.empty()) return false;
-  Event e = queue_.Pop();
-  SAMYA_CHECK_GE(e.time, now_);
-  now_ = e.time;
-  ++events_executed_;
-  e.fn();
-  return true;
-}
-
 void SimEnvironment::RunUntil(SimTime t) {
   while (!queue_.empty() && queue_.NextTime() <= t) {
     Step();

@@ -2,8 +2,9 @@
 #define SAMYA_SIM_ENVIRONMENT_H_
 
 #include <cstdint>
-#include <functional>
+#include <utility>
 
+#include "common/macros.h"
 #include "common/random.h"
 #include "common/time.h"
 #include "sim/event_queue.h"
@@ -28,14 +29,30 @@ class SimEnvironment {
   SimTime Now() const { return now_; }
 
   /// Schedules `fn` to run `delay` from now. Negative delays clamp to 0
-  /// (the event still runs strictly after the current one).
-  void Schedule(Duration delay, std::function<void()> fn);
+  /// (the event still runs strictly after the current one). `SimCallback`
+  /// is move-only with inline storage; any callable up to 48 bytes of
+  /// captures is scheduled without a heap allocation.
+  void Schedule(Duration delay, SimCallback&& fn) {
+    if (delay < 0) delay = 0;
+    ScheduleAt(now_ + delay, std::move(fn));
+  }
 
   /// Schedules `fn` at absolute simulated time `t` (>= Now()).
-  void ScheduleAt(SimTime t, std::function<void()> fn);
+  void ScheduleAt(SimTime t, SimCallback&& fn) {
+    SAMYA_CHECK_GE(t, now_);
+    queue_.Push(t, next_seq_++, std::move(fn));
+  }
 
   /// Runs a single event; returns false when the queue is empty.
-  bool Step();
+  bool Step() {
+    if (queue_.empty()) return false;
+    const EventQueue::Popped p = queue_.PopEntry();
+    SAMYA_CHECK_GE(p.time, now_);
+    now_ = p.time;
+    ++events_executed_;
+    queue_.InvokeAndRecycle(p.slot);
+    return true;
+  }
 
   /// Runs events until the clock reaches `t` (events at exactly `t` run).
   void RunUntil(SimTime t);

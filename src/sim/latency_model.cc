@@ -52,24 +52,4 @@ LatencyModel::LatencyModel() {
   }
 }
 
-Duration LatencyModel::Base(Region from, Region to) const {
-  return base_[static_cast<int>(from)][static_cast<int>(to)];
-}
-
-Duration LatencyModel::Sample(Region from, Region to, Rng& rng) const {
-  const Duration base = Base(from, to);
-  Duration jitter = 0;
-  if (jitter_fraction_ > 0) {
-    jitter = static_cast<Duration>(static_cast<double>(base) *
-                                   jitter_fraction_ *
-                                   std::abs(rng.NextGaussian()));
-  }
-  Duration tail = 0;
-  if (tail_mean_ > 0) {
-    tail = static_cast<Duration>(
-        rng.Exponential(static_cast<double>(tail_mean_)));
-  }
-  return base + jitter + tail;
-}
-
 }  // namespace samya::sim

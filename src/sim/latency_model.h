@@ -2,6 +2,7 @@
 #define SAMYA_SIM_LATENCY_MODEL_H_
 
 #include <array>
+#include <cmath>
 #include <string>
 
 #include "common/random.h"
@@ -41,10 +42,27 @@ class LatencyModel {
   LatencyModel();
 
   /// Deterministic base one-way latency between two regions.
-  Duration Base(Region from, Region to) const;
+  Duration Base(Region from, Region to) const {
+    return base_[static_cast<int>(from)][static_cast<int>(to)];
+  }
 
-  /// Base latency plus stochastic jitter drawn from `rng`.
-  Duration Sample(Region from, Region to, Rng& rng) const;
+  /// Base latency plus stochastic jitter drawn from `rng`. Inline: sampled
+  /// once per message sent.
+  Duration Sample(Region from, Region to, Rng& rng) const {
+    const Duration base = Base(from, to);
+    Duration jitter = 0;
+    if (jitter_fraction_ > 0) {
+      jitter = static_cast<Duration>(static_cast<double>(base) *
+                                     jitter_fraction_ *
+                                     std::abs(rng.NextGaussian()));
+    }
+    Duration tail = 0;
+    if (tail_mean_ > 0) {
+      tail = static_cast<Duration>(
+          rng.Exponential(static_cast<double>(tail_mean_)));
+    }
+    return base + jitter + tail;
+  }
 
   /// Scales jitter magnitude; 0 disables jitter entirely (useful in tests).
   void set_jitter_fraction(double f) { jitter_fraction_ = f; }

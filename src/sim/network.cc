@@ -11,6 +11,7 @@ Network::Network(SimEnvironment* env, LatencyModel model)
 void Network::Register(Node* node) {
   SAMYA_CHECK_EQ(node->id(), static_cast<NodeId>(nodes_.size()));
   node->network_ = this;
+  node->env_ = env_;
   node->rng_ = rng_.Fork(0x6e6f6465 + static_cast<uint64_t>(node->id()));
   nodes_.push_back(node);
   partition_group_.push_back(0);
@@ -41,32 +42,36 @@ void Network::Send(NodeId from, NodeId to, uint32_t type,
   if (partitioned_ && !CanCommunicate(from, to)) {
     ++stats_.messages_dropped_partition;
     if (tap_) tap_(env_->Now(), from, to, type, payload.size(), false);
+    pool_.Release(std::move(payload));
     return;
   }
   if (loss_rate_ > 0 && rng_.Bernoulli(loss_rate_)) {
     ++stats_.messages_dropped_loss;
     if (tap_) tap_(env_->Now(), from, to, type, payload.size(), false);
+    pool_.Release(std::move(payload));
     return;
   }
   if (tap_) tap_(env_->Now(), from, to, type, payload.size(), true);
 
   const Duration latency =
       model_.Sample(sender->region(), receiver->region(), rng_);
+  // The delivery closure (48 bytes: this + ids + type + the payload vector)
+  // fits SimCallback's inline buffer, and the payload returns to the pool
+  // whether the message is delivered or dropped in flight.
   env_->Schedule(latency, [this, from, to, type,
-                           payload = std::move(payload)]() {
+                           payload = std::move(payload)]() mutable {
     Node* recv = node(to);
     if (!recv->alive()) {
       ++stats_.messages_dropped_crashed;
-      return;
-    }
-    // A partition that formed while the message was in flight also cuts it.
-    if (partitioned_ && !CanCommunicate(from, to)) {
+    } else if (partitioned_ && !CanCommunicate(from, to)) {
+      // A partition that formed while the message was in flight also cuts it.
       ++stats_.messages_dropped_partition;
-      return;
+    } else {
+      ++stats_.messages_delivered;
+      BufferReader reader(payload);
+      recv->HandleMessage(from, type, reader);
     }
-    ++stats_.messages_delivered;
-    BufferReader reader(payload);
-    recv->HandleMessage(from, type, reader);
+    pool_.Release(std::move(payload));
   });
 }
 

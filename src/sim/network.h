@@ -5,6 +5,7 @@
 #include <functional>
 #include <vector>
 
+#include "common/buffer_pool.h"
 #include "sim/environment.h"
 #include "sim/latency_model.h"
 #include "sim/node.h"
@@ -41,7 +42,9 @@ class Network {
   /// Registers a node; the node's id must equal its registration order.
   void Register(Node* node);
 
-  /// Sends an encoded message. Called via Node::Send.
+  /// Sends an encoded message. Called via Node::Send. The payload vector is
+  /// recycled through `buffer_pool()` after delivery (or drop), so callers
+  /// on the hot path should acquire it from the pool.
   void Send(NodeId from, NodeId to, uint32_t type,
             std::vector<uint8_t> payload);
 
@@ -73,6 +76,7 @@ class Network {
   SimEnvironment* env() { return env_; }
   LatencyModel* latency_model() { return &model_; }
   const NetworkStats& stats() const { return stats_; }
+  BufferPool* buffer_pool() { return &pool_; }
 
   /// Installs a message tap (analysis/debugging; pass nullptr to remove).
   void set_message_tap(MessageTap tap) { tap_ = std::move(tap); }
@@ -89,6 +93,7 @@ class Network {
   double loss_rate_ = 0.0;
   Rng rng_;
   NetworkStats stats_;
+  BufferPool pool_;
   MessageTap tap_;
 };
 

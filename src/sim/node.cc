@@ -11,8 +11,16 @@ void Node::HandleTimer(uint64_t token) {
 }
 
 void Node::Send(NodeId to, uint32_t type, const BufferWriter& payload) {
+  Send(to, type, payload.buffer().data(), payload.buffer().size());
+}
+
+void Node::Send(NodeId to, uint32_t type, const uint8_t* data, size_t n) {
   SAMYA_CHECK(network_ != nullptr);
-  network_->Send(id_, to, type, payload.buffer());
+  // Copy the encoded bytes into a pooled buffer rather than allocating a
+  // fresh vector per message; the network recycles it after delivery.
+  std::vector<uint8_t> buf = network_->buffer_pool()->Acquire();
+  buf.assign(data, data + n);
+  network_->Send(id_, to, type, std::move(buf));
 }
 
 uint64_t Node::SetTimer(Duration delay, uint64_t token) {
@@ -21,10 +29,5 @@ uint64_t Node::SetTimer(Duration delay, uint64_t token) {
 }
 
 void Node::CancelTimer(uint64_t timer_id) { active_timers_.erase(timer_id); }
-
-SimTime Node::Now() const {
-  SAMYA_CHECK(network_ != nullptr);
-  return network_->env()->Now();
-}
 
 }  // namespace samya::sim

@@ -2,11 +2,12 @@
 #define SAMYA_SIM_NODE_H_
 
 #include <cstdint>
-#include <unordered_set>
 
 #include "common/codec.h"
+#include "common/flat_set64.h"
 #include "common/random.h"
 #include "common/time.h"
+#include "sim/environment.h"
 #include "sim/latency_model.h"
 
 namespace samya::sim {
@@ -62,12 +63,22 @@ class Node {
   /// geo latency, jitter, loss and partition rules applied.
   void Send(NodeId to, uint32_t type, const BufferWriter& payload);
 
+  /// Same, for already-encoded bytes (e.g. a relay forwarding a request
+  /// verbatim) — skips the intermediate `BufferWriter`.
+  void Send(NodeId to, uint32_t type, const uint8_t* data, size_t n);
+
   /// Arms a timer; `HandleTimer(token)` fires after `delay` unless the timer
   /// is cancelled or the node crashes first. Returns an id for cancellation.
   uint64_t SetTimer(Duration delay, uint64_t token);
   void CancelTimer(uint64_t timer_id);
 
-  SimTime Now() const;
+  /// Current simulated time. Reads the environment clock through a pointer
+  /// cached at registration: handlers consult the clock several times per
+  /// event, so this stays a single inlined load.
+  SimTime Now() const {
+    SAMYA_CHECK(env_ != nullptr);
+    return env_->Now();
+  }
   Rng& rng() { return rng_; }
   Network* network() { return network_; }
 
@@ -80,8 +91,12 @@ class Node {
   bool alive_ = true;
   uint64_t epoch_ = 0;  // bumped on crash & recover to kill stale timers
   uint64_t next_timer_id_ = 1;
-  std::unordered_set<uint64_t> active_timers_;
+  // Armed-timer ids. Every request and every Avantan round arms and cancels
+  // a timer, so this sits on the hot path; FlatSet64 keeps it a flat probe
+  // instead of a node allocation per insert.
+  FlatSet64 active_timers_;
   Network* network_ = nullptr;
+  SimEnvironment* env_ = nullptr;  // cached from the network at Register
   Rng rng_{0};
 };
 

@@ -1,0 +1,69 @@
+#include "common/buffer_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <utility>
+
+namespace samya {
+namespace {
+
+TEST(BufferPoolTest, FirstAcquireAllocatesNothingFromPool) {
+  BufferPool pool;
+  auto buf = pool.Acquire();
+  EXPECT_TRUE(buf.empty());
+  EXPECT_EQ(pool.stats().acquired, 1u);
+  EXPECT_EQ(pool.stats().reused, 0u);
+}
+
+TEST(BufferPoolTest, ReleasedBufferCapacityIsReused) {
+  BufferPool pool;
+  auto buf = pool.Acquire();
+  buf.assign(100, 0xab);
+  const size_t cap = buf.capacity();
+  pool.Release(std::move(buf));
+  EXPECT_EQ(pool.pooled(), 1u);
+
+  auto again = pool.Acquire();
+  EXPECT_TRUE(again.empty());          // contents cleared
+  EXPECT_GE(again.capacity(), cap);    // capacity retained
+  EXPECT_EQ(pool.stats().reused, 1u);
+}
+
+TEST(BufferPoolTest, ZeroCapacityReleasesAreDiscarded) {
+  BufferPool pool;
+  pool.Release({});
+  EXPECT_EQ(pool.pooled(), 0u);
+  EXPECT_EQ(pool.stats().discarded, 1u);
+}
+
+TEST(BufferPoolTest, OversizedBuffersAreNotPooled) {
+  BufferPool pool(/*max_pooled=*/8, /*max_buffer_capacity=*/64);
+  std::vector<uint8_t> big(1000, 1);
+  pool.Release(std::move(big));
+  EXPECT_EQ(pool.pooled(), 0u);
+  EXPECT_EQ(pool.stats().discarded, 1u);
+}
+
+TEST(BufferPoolTest, PoolSizeIsBounded) {
+  BufferPool pool(/*max_pooled=*/2, /*max_buffer_capacity=*/1024);
+  for (int i = 0; i < 5; ++i) {
+    std::vector<uint8_t> buf(16, 7);
+    pool.Release(std::move(buf));
+  }
+  EXPECT_EQ(pool.pooled(), 2u);
+  EXPECT_EQ(pool.stats().discarded, 3u);
+}
+
+TEST(BufferPoolTest, ReuseRateTracksSteadyState) {
+  BufferPool pool;
+  for (int i = 0; i < 10; ++i) {
+    auto buf = pool.Acquire();
+    buf.assign(32, 1);
+    pool.Release(std::move(buf));
+  }
+  // First acquire misses, the other nine reuse.
+  EXPECT_DOUBLE_EQ(pool.ReuseRate(), 0.9);
+}
+
+}  // namespace
+}  // namespace samya

@@ -1,0 +1,96 @@
+#include "common/flat_set64.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "common/random.h"
+
+namespace samya {
+namespace {
+
+TEST(FlatSet64Test, InsertContainsErase) {
+  FlatSet64 set;
+  EXPECT_TRUE(set.empty());
+  EXPECT_TRUE(set.insert(1));
+  EXPECT_FALSE(set.insert(1));  // duplicate
+  EXPECT_TRUE(set.insert(2));
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_TRUE(set.contains(1));
+  EXPECT_TRUE(set.contains(2));
+  EXPECT_FALSE(set.contains(3));
+  EXPECT_EQ(set.erase(1), 1u);
+  EXPECT_EQ(set.erase(1), 0u);
+  EXPECT_FALSE(set.contains(1));
+  EXPECT_TRUE(set.contains(2));
+  EXPECT_EQ(set.size(), 1u);
+}
+
+// Regression: key 0 is the empty-slot sentinel. erase(0) used to match an
+// empty slot and corrupt the table (losing armed timers in sim::Node, which
+// calls CancelTimer(0) for never-armed timer ids). All ops on 0 must be
+// harmless no-ops.
+TEST(FlatSet64Test, KeyZeroIsReservedAndHarmless) {
+  FlatSet64 set;
+  EXPECT_FALSE(set.insert(0));
+  EXPECT_FALSE(set.contains(0));
+  EXPECT_EQ(set.erase(0), 0u);
+  for (uint64_t i = 1; i <= 64; ++i) set.insert(i);
+  EXPECT_EQ(set.erase(0), 0u);  // must not disturb the table
+  EXPECT_FALSE(set.contains(0));
+  EXPECT_EQ(set.size(), 64u);
+  for (uint64_t i = 1; i <= 64; ++i) EXPECT_TRUE(set.contains(i));
+}
+
+TEST(FlatSet64Test, ClearRemovesEverything) {
+  FlatSet64 set;
+  for (uint64_t i = 1; i <= 100; ++i) set.insert(i);
+  set.clear();
+  EXPECT_TRUE(set.empty());
+  for (uint64_t i = 1; i <= 100; ++i) EXPECT_FALSE(set.contains(i));
+  // Reusable after clear.
+  EXPECT_TRUE(set.insert(5));
+  EXPECT_TRUE(set.contains(5));
+}
+
+TEST(FlatSet64Test, GrowsPastInitialCapacity) {
+  FlatSet64 set;
+  for (uint64_t i = 1; i <= 10000; ++i) EXPECT_TRUE(set.insert(i));
+  EXPECT_EQ(set.size(), 10000u);
+  for (uint64_t i = 1; i <= 10000; ++i) EXPECT_TRUE(set.contains(i));
+  EXPECT_FALSE(set.contains(10001));
+}
+
+TEST(FlatSet64Test, TimerLifecyclePattern) {
+  // The sim::Node pattern: ids arm sequentially, most cancel promptly.
+  FlatSet64 set;
+  uint64_t next_id = 1;
+  for (int round = 0; round < 1000; ++round) {
+    const uint64_t armed = next_id++;
+    EXPECT_TRUE(set.insert(armed));
+    EXPECT_EQ(set.erase(armed), 1u);
+  }
+  EXPECT_TRUE(set.empty());
+  EXPECT_LE(set.capacity(), 64u);  // churn must not grow the table
+}
+
+TEST(FlatSet64Test, MatchesUnorderedSetUnderRandomChurn) {
+  Rng rng(99);
+  FlatSet64 set;
+  std::unordered_set<uint64_t> ref;
+  for (int i = 0; i < 20000; ++i) {
+    const uint64_t key = static_cast<uint64_t>(rng.UniformInt(1, 500));
+    if (rng.Bernoulli(0.5)) {
+      EXPECT_EQ(set.insert(key), ref.insert(key).second);
+    } else {
+      EXPECT_EQ(set.erase(key), ref.erase(key));
+    }
+    ASSERT_EQ(set.size(), ref.size());
+  }
+  for (uint64_t key = 1; key <= 500; ++key) {
+    ASSERT_EQ(set.contains(key), ref.count(key) > 0) << key;
+  }
+}
+
+}  // namespace
+}  // namespace samya

@@ -1,0 +1,148 @@
+#include "common/inline_function.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace samya {
+namespace {
+
+/// Counts constructions/destructions/copies/moves of its instances.
+struct Counters {
+  int constructed = 0;
+  int destroyed = 0;
+  int copies = 0;
+  int moves = 0;
+};
+
+struct Tracked {
+  explicit Tracked(Counters* c) : counters(c) { ++counters->constructed; }
+  Tracked(const Tracked& o) : counters(o.counters) {
+    ++counters->constructed;
+    ++counters->copies;
+  }
+  Tracked(Tracked&& o) noexcept : counters(o.counters) {
+    ++counters->constructed;
+    ++counters->moves;
+  }
+  ~Tracked() { ++counters->destroyed; }
+  Counters* counters;
+};
+
+TEST(InlineFunctionTest, InvokesSmallCallable) {
+  int calls = 0;
+  InlineFunction<void()> fn([&calls] { ++calls; });
+  EXPECT_TRUE(static_cast<bool>(fn));
+  EXPECT_TRUE(fn.is_inline());
+  fn();
+  fn();
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(InlineFunctionTest, ReturnsValuesAndTakesArguments) {
+  InlineFunction<int(int, int)> add([](int a, int b) { return a + b; });
+  EXPECT_EQ(add(2, 3), 5);
+}
+
+TEST(InlineFunctionTest, CaptureAtInlineThresholdStaysInline) {
+  // 48 bytes of captures: exactly the inline budget.
+  struct Fat {
+    char bytes[48];
+  } fat{};
+  fat.bytes[0] = 7;
+  InlineFunction<int()> fn([fat] { return static_cast<int>(fat.bytes[0]); });
+  EXPECT_TRUE(fn.is_inline());
+  EXPECT_EQ(fn(), 7);
+}
+
+TEST(InlineFunctionTest, CaptureOverThresholdFallsBackToHeap) {
+  struct TooFat {
+    char bytes[49];
+  } fat{};
+  fat.bytes[48] = 9;
+  InlineFunction<int()> fn([fat] { return static_cast<int>(fat.bytes[48]); });
+  EXPECT_FALSE(fn.is_inline());
+  EXPECT_EQ(fn(), 9);
+}
+
+TEST(InlineFunctionTest, MoveTransfersCallableWithoutCopying) {
+  Counters c;
+  {
+    Tracked t(&c);
+    InlineFunction<Counters*()> fn([t] { return t.counters; });
+    const int copies_after_capture = c.copies;  // one copy into the lambda
+    InlineFunction<Counters*()> moved = std::move(fn);
+    EXPECT_FALSE(static_cast<bool>(fn));  // NOLINT(bugprone-use-after-move)
+    EXPECT_TRUE(static_cast<bool>(moved));
+    EXPECT_EQ(moved(), &c);
+    EXPECT_EQ(c.copies, copies_after_capture);  // moves never copy
+  }
+  EXPECT_EQ(c.constructed, c.destroyed);
+}
+
+TEST(InlineFunctionTest, MoveOnlyCapturesWork) {
+  auto p = std::make_unique<int>(41);
+  InlineFunction<int()> fn([p = std::move(p)] { return *p + 1; });
+  InlineFunction<int()> moved = std::move(fn);
+  EXPECT_EQ(moved(), 42);
+}
+
+TEST(InlineFunctionTest, DestructionCountsBalanceInline) {
+  Counters c;
+  {
+    Tracked t(&c);
+    InlineFunction<void()> fn([t] {});
+    EXPECT_TRUE(fn.is_inline());
+    InlineFunction<void()> other = std::move(fn);
+    other();
+  }
+  EXPECT_GT(c.constructed, 0);
+  EXPECT_EQ(c.constructed, c.destroyed);
+}
+
+TEST(InlineFunctionTest, DestructionCountsBalanceHeap) {
+  Counters c;
+  {
+    Tracked t(&c);
+    char pad[64] = {0};
+    InlineFunction<char()> fn([t, pad] { return pad[0]; });
+    EXPECT_FALSE(fn.is_inline());
+    InlineFunction<char()> other = std::move(fn);
+    other();
+  }
+  EXPECT_GT(c.constructed, 0);
+  EXPECT_EQ(c.constructed, c.destroyed);
+}
+
+TEST(InlineFunctionTest, MoveAssignmentDestroysPreviousTarget) {
+  Counters a, b;
+  {
+    Tracked ta(&a), tb(&b);
+    InlineFunction<void()> fa([ta] {});
+    InlineFunction<void()> fb([tb] {});
+    fa = std::move(fb);  // destroys ta's copy inside fa
+    fa();
+  }
+  EXPECT_EQ(a.constructed, a.destroyed);
+  EXPECT_EQ(b.constructed, b.destroyed);
+}
+
+TEST(InlineFunctionTest, VectorCaptureSurvivesManyMoves) {
+  std::vector<int> v{1, 2, 3, 4, 5};
+  InlineFunction<int()> fn([v] {
+    int sum = 0;
+    for (int x : v) sum += x;
+    return sum;
+  });
+  for (int i = 0; i < 16; ++i) {
+    InlineFunction<int()> tmp = std::move(fn);
+    fn = std::move(tmp);
+  }
+  EXPECT_EQ(fn(), 15);
+}
+
+}  // namespace
+}  // namespace samya

@@ -1,0 +1,85 @@
+#include "harness/parallel_runner.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace samya::harness {
+namespace {
+
+std::vector<ExperimentOptions> SweepUnderTest() {
+  // A miniature robustness_seeds-shaped sweep: seeds x systems, short runs.
+  std::vector<ExperimentOptions> sweep;
+  for (uint64_t seed : {42u, 7u}) {
+    for (SystemKind system :
+         {SystemKind::kSamyaMajority, SystemKind::kMultiPaxSys}) {
+      ExperimentOptions opts;
+      opts.system = system;
+      opts.duration = Minutes(2);
+      opts.seed = seed;
+      opts.trace.seed = seed * 31 + 5;
+      sweep.push_back(opts);
+    }
+  }
+  return sweep;
+}
+
+void ExpectIdentical(const ExperimentResult& a, const ExperimentResult& b) {
+  EXPECT_EQ(a.events_executed, b.events_executed);
+  EXPECT_EQ(a.aggregate.TotalCommitted(), b.aggregate.TotalCommitted());
+  EXPECT_EQ(a.aggregate.committed_acquires, b.aggregate.committed_acquires);
+  EXPECT_EQ(a.aggregate.committed_releases, b.aggregate.committed_releases);
+  EXPECT_EQ(a.aggregate.rejected, b.aggregate.rejected);
+  EXPECT_EQ(a.aggregate.dropped, b.aggregate.dropped);
+  EXPECT_EQ(a.aggregate.sent, b.aggregate.sent);
+  EXPECT_EQ(a.network.messages_sent, b.network.messages_sent);
+  EXPECT_EQ(a.network.messages_delivered, b.network.messages_delivered);
+  EXPECT_EQ(a.network.bytes_sent, b.network.bytes_sent);
+  EXPECT_EQ(a.proactive_redistributions, b.proactive_redistributions);
+  EXPECT_EQ(a.reactive_redistributions, b.reactive_redistributions);
+  EXPECT_EQ(a.instances_completed, b.instances_completed);
+}
+
+// The determinism contract of harness/parallel_runner.h: RunAll on N
+// threads must return, in input order, results bit-identical to running
+// each experiment sequentially.
+TEST(ParallelRunnerTest, ParallelMatchesSequential) {
+  const auto options = SweepUnderTest();
+
+  std::vector<ExperimentResult> sequential;
+  for (const auto& opts : options) {
+    Experiment experiment(opts);
+    experiment.Setup();
+    sequential.push_back(experiment.Run());
+  }
+
+  const auto parallel = RunAll(options, /*threads=*/4);
+
+  ASSERT_EQ(parallel.size(), sequential.size());
+  for (size_t i = 0; i < parallel.size(); ++i) {
+    SCOPED_TRACE(i);
+    ExpectIdentical(sequential[i], parallel[i]);
+  }
+}
+
+TEST(ParallelRunnerTest, RepeatedParallelRunsAreStable) {
+  const auto options = SweepUnderTest();
+  const auto first = RunAll(options, /*threads=*/3);
+  const auto second = RunAll(options, /*threads=*/2);
+  ASSERT_EQ(first.size(), second.size());
+  for (size_t i = 0; i < first.size(); ++i) {
+    SCOPED_TRACE(i);
+    ExpectIdentical(first[i], second[i]);
+  }
+}
+
+TEST(ParallelRunnerTest, EmptySweepReturnsEmpty) {
+  EXPECT_TRUE(RunAll({}, 4).empty());
+}
+
+TEST(ParallelRunnerTest, DefaultThreadsIsPositive) {
+  EXPECT_GE(DefaultRunnerThreads(), 1);
+}
+
+}  // namespace
+}  // namespace samya::harness

@@ -38,6 +38,44 @@ TEST(EventQueueTest, CallbacksSurviveHeapMoves) {
   EXPECT_EQ(sum, 55);
 }
 
+// Regression test for the old std::priority_queue implementation, whose
+// Pop() copied the closure out of top(). The counting functor proves the
+// new heap never copies a callback: not on Push, not during sifts, not on
+// Pop. (SimCallback is move-only, so a copy would also fail to compile —
+// this asserts the runtime counts for the callable itself.)
+TEST(EventQueueTest, PopMovesCallbacksWithoutCopying) {
+  struct CountingFunctor {
+    int* copies;
+    int* moves;
+    int* calls;
+    CountingFunctor(int* c, int* m, int* k) : copies(c), moves(m), calls(k) {}
+    CountingFunctor(const CountingFunctor& o)
+        : copies(o.copies), moves(o.moves), calls(o.calls) {
+      ++*copies;
+    }
+    CountingFunctor(CountingFunctor&& o) noexcept
+        : copies(o.copies), moves(o.moves), calls(o.calls) {
+      ++*moves;
+    }
+    void operator()() { ++*calls; }
+  };
+
+  int copies = 0, moves = 0, calls = 0;
+  EventQueue q;
+  // Reverse time order maximises sift traffic on push and pop.
+  for (int i = 0; i < 64; ++i) {
+    q.Push(64 - i, static_cast<uint64_t>(i),
+           CountingFunctor(&copies, &moves, &calls));
+  }
+  while (!q.empty()) {
+    Event e = q.Pop();
+    e.fn();
+  }
+  EXPECT_EQ(calls, 64);
+  EXPECT_EQ(copies, 0);
+  EXPECT_GT(moves, 0);
+}
+
 TEST(EventQueueTest, RandomizedOrderingProperty) {
   Rng rng(21);
   EventQueue q;
