@@ -54,7 +54,11 @@ int main() {
     std::map<uint32_t, PerType> by_type;
     e.cluster().net().set_message_tap(
         [&](SimTime, sim::NodeId, sim::NodeId, uint32_t type, size_t bytes,
-            bool) {
+            sim::TapEvent ev) {
+          // Count send attempts once each; skip the later delivery-time
+          // events so a message is not double-counted.
+          if (ev != sim::TapEvent::kSent && ev != sim::TapEvent::kDroppedAtSend)
+            return;
           auto& t = by_type[type];
           ++t.count;
           t.bytes += bytes;

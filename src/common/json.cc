@@ -1,0 +1,408 @@
+#include "common/json.h"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace samya {
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  if (!is_object()) return nullptr;
+  for (const auto& [k, v] : as_object()) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+int64_t JsonValue::GetInt(std::string_view key, int64_t fallback) const {
+  const JsonValue* v = Find(key);
+  return (v != nullptr && v->is_int()) ? v->as_int() : fallback;
+}
+
+double JsonValue::GetDouble(std::string_view key, double fallback) const {
+  const JsonValue* v = Find(key);
+  return (v != nullptr && v->is_number()) ? v->as_double() : fallback;
+}
+
+std::string JsonValue::GetString(std::string_view key,
+                                 std::string fallback) const {
+  const JsonValue* v = Find(key);
+  return (v != nullptr && v->is_string()) ? v->as_string()
+                                          : std::move(fallback);
+}
+
+bool JsonValue::GetBool(std::string_view key, bool fallback) const {
+  const JsonValue* v = Find(key);
+  return (v != nullptr && v->is_bool()) ? v->as_bool() : fallback;
+}
+
+namespace {
+
+/// Recursive-descent parser over a string_view cursor. Depth-limited so a
+/// hostile corpus file cannot blow the stack.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : s_(text) {}
+
+  Result<JsonValue> Parse() {
+    SkipWs();
+    JsonValue v;
+    Status st = ParseValue(&v, 0);
+    if (!st.ok()) return st;
+    SkipWs();
+    if (pos_ != s_.size()) return Fail("trailing characters after document");
+    return v;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  Status Fail(const char* what) const {
+    return Status::InvalidArgument("json: " + std::string(what) +
+                                   " at offset " + std::to_string(pos_));
+  }
+
+  bool AtEnd() const { return pos_ >= s_.size(); }
+  char Peek() const { return s_[pos_]; }
+
+  void SkipWs() {
+    while (!AtEnd()) {
+      const char c = s_[pos_];
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  bool Consume(char c) {
+    if (AtEnd() || s_[pos_] != c) return false;
+    ++pos_;
+    return true;
+  }
+
+  bool ConsumeLiteral(std::string_view lit) {
+    if (s_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  Status ParseValue(JsonValue* out, int depth) {
+    if (depth > kMaxDepth) return Fail("nesting too deep");
+    if (AtEnd()) return Fail("unexpected end of input");
+    switch (Peek()) {
+      case '{':
+        return ParseObject(out, depth);
+      case '[':
+        return ParseArray(out, depth);
+      case '"': {
+        std::string s;
+        Status st = ParseString(&s);
+        if (!st.ok()) return st;
+        *out = JsonValue(std::move(s));
+        return Status::OK();
+      }
+      case 't':
+        if (ConsumeLiteral("true")) {
+          *out = JsonValue(true);
+          return Status::OK();
+        }
+        return Fail("bad literal");
+      case 'f':
+        if (ConsumeLiteral("false")) {
+          *out = JsonValue(false);
+          return Status::OK();
+        }
+        return Fail("bad literal");
+      case 'n':
+        if (ConsumeLiteral("null")) {
+          *out = JsonValue(nullptr);
+          return Status::OK();
+        }
+        return Fail("bad literal");
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  Status ParseObject(JsonValue* out, int depth) {
+    ++pos_;  // '{'
+    *out = JsonValue::MakeObject();
+    SkipWs();
+    if (Consume('}')) return Status::OK();
+    while (true) {
+      SkipWs();
+      if (AtEnd() || Peek() != '"') return Fail("expected object key");
+      std::string key;
+      Status st = ParseString(&key);
+      if (!st.ok()) return st;
+      SkipWs();
+      if (!Consume(':')) return Fail("expected ':'");
+      SkipWs();
+      JsonValue v;
+      st = ParseValue(&v, depth + 1);
+      if (!st.ok()) return st;
+      out->Set(std::move(key), std::move(v));
+      SkipWs();
+      if (Consume(',')) continue;
+      if (Consume('}')) return Status::OK();
+      return Fail("expected ',' or '}'");
+    }
+  }
+
+  Status ParseArray(JsonValue* out, int depth) {
+    ++pos_;  // '['
+    *out = JsonValue::MakeArray();
+    SkipWs();
+    if (Consume(']')) return Status::OK();
+    while (true) {
+      SkipWs();
+      JsonValue v;
+      Status st = ParseValue(&v, depth + 1);
+      if (!st.ok()) return st;
+      out->Append(std::move(v));
+      SkipWs();
+      if (Consume(',')) continue;
+      if (Consume(']')) return Status::OK();
+      return Fail("expected ',' or ']'");
+    }
+  }
+
+  static void AppendUtf8(std::string* s, uint32_t cp) {
+    if (cp < 0x80) {
+      s->push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      s->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      s->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp < 0x10000) {
+      s->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      s->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      s->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      s->push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      s->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+      s->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      s->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
+  Status ParseHex4(uint32_t* out) {
+    if (pos_ + 4 > s_.size()) return Fail("truncated \\u escape");
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = s_[pos_ + static_cast<size_t>(i)];
+      v <<= 4;
+      if (c >= '0' && c <= '9') {
+        v |= static_cast<uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        v |= static_cast<uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        v |= static_cast<uint32_t>(c - 'A' + 10);
+      } else {
+        return Fail("bad hex digit in \\u escape");
+      }
+    }
+    pos_ += 4;
+    *out = v;
+    return Status::OK();
+  }
+
+  Status ParseString(std::string* out) {
+    ++pos_;  // '"'
+    out->clear();
+    while (true) {
+      if (AtEnd()) return Fail("unterminated string");
+      const char c = s_[pos_++];
+      if (c == '"') return Status::OK();
+      if (c == '\\') {
+        if (AtEnd()) return Fail("truncated escape");
+        const char e = s_[pos_++];
+        switch (e) {
+          case '"': out->push_back('"'); break;
+          case '\\': out->push_back('\\'); break;
+          case '/': out->push_back('/'); break;
+          case 'b': out->push_back('\b'); break;
+          case 'f': out->push_back('\f'); break;
+          case 'n': out->push_back('\n'); break;
+          case 'r': out->push_back('\r'); break;
+          case 't': out->push_back('\t'); break;
+          case 'u': {
+            uint32_t cp = 0;
+            Status st = ParseHex4(&cp);
+            if (!st.ok()) return st;
+            if (cp >= 0xD800 && cp <= 0xDBFF) {
+              // High surrogate: must be followed by \uDC00..\uDFFF.
+              if (!ConsumeLiteral("\\u")) return Fail("lone high surrogate");
+              uint32_t lo = 0;
+              st = ParseHex4(&lo);
+              if (!st.ok()) return st;
+              if (lo < 0xDC00 || lo > 0xDFFF) return Fail("bad low surrogate");
+              cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+            } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+              return Fail("lone low surrogate");
+            }
+            AppendUtf8(out, cp);
+            break;
+          }
+          default:
+            return Fail("bad escape character");
+        }
+      } else {
+        out->push_back(c);
+      }
+    }
+  }
+
+  Status ParseNumber(JsonValue* out) {
+    const size_t start = pos_;
+    bool is_double = false;
+    if (Consume('-')) {}
+    const size_t int_start = pos_;
+    while (!AtEnd() && Peek() >= '0' && Peek() <= '9') ++pos_;
+    // RFC 8259: no leading zeros ("01"), though "0" and "0.5" are fine.
+    if (pos_ - int_start > 1 && s_[int_start] == '0') {
+      return Fail("leading zero");
+    }
+    if (!AtEnd() && Peek() == '.') {
+      is_double = true;
+      ++pos_;
+      while (!AtEnd() && Peek() >= '0' && Peek() <= '9') ++pos_;
+    }
+    if (!AtEnd() && (Peek() == 'e' || Peek() == 'E')) {
+      is_double = true;
+      ++pos_;
+      if (!AtEnd() && (Peek() == '+' || Peek() == '-')) ++pos_;
+      while (!AtEnd() && Peek() >= '0' && Peek() <= '9') ++pos_;
+    }
+    if (pos_ == start || (pos_ == start + 1 && s_[start] == '-')) {
+      return Fail("bad number");
+    }
+    const std::string tok(s_.substr(start, pos_ - start));
+    if (is_double) {
+      char* end = nullptr;
+      const double d = std::strtod(tok.c_str(), &end);
+      if (end != tok.c_str() + tok.size()) return Fail("bad number");
+      *out = JsonValue(d);
+    } else {
+      errno = 0;
+      char* end = nullptr;
+      const long long i = std::strtoll(tok.c_str(), &end, 10);
+      if (end != tok.c_str() + tok.size() || errno == ERANGE) {
+        return Fail("integer out of range");
+      }
+      *out = JsonValue(static_cast<int64_t>(i));
+    }
+    return Status::OK();
+  }
+
+  std::string_view s_;
+  size_t pos_ = 0;
+};
+
+void DumpString(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\b': *out += "\\b"; break;
+      case '\f': *out += "\\f"; break;
+      case '\n': *out += "\\n"; break;
+      case '\r': *out += "\\r"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);  // UTF-8 bytes pass through untouched
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void DumpNumber(double d, std::string* out) {
+  if (std::isnan(d) || std::isinf(d)) {
+    // JSON has no NaN/Inf; null is the conventional lossy stand-in.
+    *out += "null";
+    return;
+  }
+  char buf[32];
+  // %.17g round-trips every double; trim the common integral case.
+  std::snprintf(buf, sizeof(buf), "%.17g", d);
+  *out += buf;
+  // Ensure a reparse stays a double (e.g. "3" -> "3.0").
+  if (out->find_first_of(".eEn", out->size() - std::strlen(buf)) ==
+      std::string::npos) {
+    *out += ".0";
+  }
+}
+
+void DumpValue(const JsonValue& v, int indent, int depth, std::string* out) {
+  const auto newline = [&](int d) {
+    if (indent <= 0) return;
+    out->push_back('\n');
+    out->append(static_cast<size_t>(indent * d), ' ');
+  };
+  if (v.is_null()) {
+    *out += "null";
+  } else if (v.is_bool()) {
+    *out += v.as_bool() ? "true" : "false";
+  } else if (v.is_int()) {
+    *out += std::to_string(v.as_int());
+  } else if (v.is_double()) {
+    DumpNumber(v.as_double(), out);
+  } else if (v.is_string()) {
+    DumpString(v.as_string(), out);
+  } else if (v.is_array()) {
+    const auto& a = v.as_array();
+    if (a.empty()) {
+      *out += "[]";
+      return;
+    }
+    out->push_back('[');
+    for (size_t i = 0; i < a.size(); ++i) {
+      if (i > 0) out->push_back(',');
+      newline(depth + 1);
+      DumpValue(a[i], indent, depth + 1, out);
+    }
+    newline(depth);
+    out->push_back(']');
+  } else {
+    const auto& o = v.as_object();
+    if (o.empty()) {
+      *out += "{}";
+      return;
+    }
+    out->push_back('{');
+    for (size_t i = 0; i < o.size(); ++i) {
+      if (i > 0) out->push_back(',');
+      newline(depth + 1);
+      DumpString(o[i].first, out);
+      *out += indent > 0 ? ": " : ":";
+      DumpValue(o[i].second, indent, depth + 1, out);
+    }
+    newline(depth);
+    out->push_back('}');
+  }
+}
+
+}  // namespace
+
+Result<JsonValue> JsonParse(std::string_view text) {
+  return Parser(text).Parse();
+}
+
+std::string JsonDump(const JsonValue& v, int indent) {
+  std::string out;
+  DumpValue(v, indent, 0, &out);
+  if (indent > 0) out.push_back('\n');
+  return out;
+}
+
+}  // namespace samya

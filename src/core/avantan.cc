@@ -664,6 +664,7 @@ void Site::FinishInstanceLocally(InstanceId instance, const StateList& value) {
   SAMYA_LOG_DEBUG("site %d applied instance %lld: tokens_left=%lld", id(),
                   static_cast<long long>(instance),
                   static_cast<long long>(tokens_left_));
+  if (instance_observer_) instance_observer_(*this, instance, &value);
   if (was_engaged) DrainQueue();
 }
 
@@ -678,6 +679,7 @@ void Site::AbortInstance(InstanceId instance) {
   Persist();
   SAMYA_LOG_DEBUG("site %d aborted instance %lld", id(),
                   static_cast<long long>(instance));
+  if (instance_observer_) instance_observer_(*this, instance, nullptr);
   DrainQueue();
 }
 

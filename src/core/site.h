@@ -123,6 +123,21 @@ class Site : public sim::Node {
     return outcomes_;
   }
 
+  /// When the current freeze began (meaningful iff `frozen()`); lets an
+  /// auditor flag a site stuck engaged long after the network healed.
+  SimTime frozen_since() const { return freeze_started_; }
+
+  /// Observation hook for continuous invariant auditing: fires whenever this
+  /// site locally applies a decided outcome (`value` non-null) or aborts an
+  /// instance it was engaged in (`value == nullptr`). Fires after the
+  /// decision/abort is fully applied and persisted, before queued requests
+  /// drain. Not part of the protocol; pass nullptr to remove.
+  using InstanceObserver = std::function<void(
+      const Site& site, InstanceId instance, const StateList* value)>;
+  void set_instance_observer(InstanceObserver obs) {
+    instance_observer_ = std::move(obs);
+  }
+
  private:
   enum class Role { kNone, kLeader, kCohort };
   enum class LeaderPhase { kIdle, kElection, kAccept };
@@ -207,6 +222,7 @@ class Site : public sim::Node {
 
   SiteOptions opts_;
   storage::StableStorage* storage_ = nullptr;
+  InstanceObserver instance_observer_;  // audit hook; not protocol state
 
   // --- Token state (the dis-aggregated data) -------------------------------
   int64_t tokens_left_ = 0;

@@ -1,0 +1,207 @@
+#include "harness/chaos.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/macros.h"
+
+namespace samya::harness {
+
+namespace {
+
+struct SystemIdEntry {
+  const char* id;
+  SystemKind kind;
+};
+
+constexpr SystemIdEntry kSystemIds[] = {
+    {"samya_majority", SystemKind::kSamyaMajority},
+    {"samya_any", SystemKind::kSamyaAny},
+    {"multipaxsys", SystemKind::kMultiPaxSys},
+    {"cockroach_like", SystemKind::kCockroachLike},
+    {"demarcation", SystemKind::kDemarcation},
+    {"site_escrow", SystemKind::kSiteEscrow},
+    {"samya_no_constraint", SystemKind::kSamyaNoConstraint},
+    {"samya_no_redistribution", SystemKind::kSamyaNoRedistribution},
+    {"samya_majority_no_predict", SystemKind::kSamyaMajorityNoPredict},
+    {"samya_any_no_predict", SystemKind::kSamyaAnyNoPredict},
+};
+
+}  // namespace
+
+const char* SystemIdName(SystemKind kind) {
+  for (const auto& e : kSystemIds) {
+    if (e.kind == kind) return e.id;
+  }
+  return "unknown";
+}
+
+bool SystemKindFromId(const std::string& id, SystemKind* out) {
+  for (const auto& e : kSystemIds) {
+    if (id == e.id) {
+      *out = e.kind;
+      return true;
+    }
+  }
+  return false;
+}
+
+JsonValue ChaosCase::ToJson() const {
+  JsonValue doc = JsonValue::MakeObject();
+  doc.Set("format", "samya-chaos-case-v1");
+  doc.Set("system", SystemIdName(system));
+  doc.Set("seed", static_cast<int64_t>(seed));
+  doc.Set("num_sites", static_cast<int64_t>(num_sites));
+  doc.Set("max_tokens", max_tokens);
+  doc.Set("duration_us", duration);
+  doc.Set("intensity", intensity);
+  if (!quiescence_guard) doc.Set("quiescence_guard", false);
+  if (!violation_check.empty()) doc.Set("violation_check", violation_check);
+  if (!note.empty()) doc.Set("note", note);
+  doc.Set("schedule", schedule.ToJson());
+  return doc;
+}
+
+Result<ChaosCase> ChaosCase::FromJson(const JsonValue& v) {
+  if (!v.is_object()) {
+    return Status::InvalidArgument("chaos case: not an object");
+  }
+  const std::string format = v.GetString("format", "");
+  if (format != "samya-chaos-case-v1") {
+    return Status::InvalidArgument("chaos case: unknown format '" + format +
+                                   "'");
+  }
+  ChaosCase c;
+  if (!SystemKindFromId(v.GetString("system", ""), &c.system)) {
+    return Status::InvalidArgument("chaos case: unknown system '" +
+                                   v.GetString("system", "") + "'");
+  }
+  c.seed = static_cast<uint64_t>(v.GetInt("seed", 1));
+  c.num_sites = static_cast<int>(v.GetInt("num_sites", 5));
+  c.max_tokens = v.GetInt("max_tokens", 5000);
+  c.duration = v.GetInt("duration_us", Seconds(50));
+  c.intensity = v.GetDouble("intensity", 1.0);
+  c.quiescence_guard = v.GetBool("quiescence_guard", true);
+  c.violation_check = v.GetString("violation_check", "");
+  c.note = v.GetString("note", "");
+  const JsonValue* sched = v.Find("schedule");
+  if (sched == nullptr) {
+    return Status::InvalidArgument("chaos case: missing schedule");
+  }
+  SAMYA_ASSIGN_OR_RETURN(c.schedule, sim::FaultSchedule::FromJson(*sched));
+  return c;
+}
+
+ExperimentOptions MakeChaosOptions(const ChaosCase& c, AuditOptions audit) {
+  ExperimentOptions o;
+  o.system = c.system;
+  o.num_sites = c.num_sites;
+  o.max_tokens = c.max_tokens;
+  o.duration = c.duration;
+  o.seed = c.seed;
+  o.fault_schedule = c.schedule;
+  audit.enabled = true;
+  audit.require_quiescence = audit.require_quiescence && c.quiescence_guard;
+  // The terminal heal block is the last scheduled op; with it gone (e.g. a
+  // shrunken schedule) the latest remaining op still bounds the fault era.
+  audit.heal_time = 0;
+  for (const sim::FaultOp& op : c.schedule.ops) {
+    audit.heal_time = std::max(audit.heal_time, op.at);
+  }
+  audit.load_end = c.duration;
+  o.audit = audit;
+  return o;
+}
+
+ExperimentResult RunChaosCase(const ChaosCase& c, const AuditOptions& audit) {
+  Experiment e(MakeChaosOptions(c, audit));
+  e.Setup();
+  return e.Run();
+}
+
+ChaosCase MakeNemesisCase(SystemKind system, uint64_t seed, double intensity,
+                          int num_sites) {
+  ChaosCase c;
+  c.system = system;
+  c.seed = seed;
+  c.intensity = intensity;
+  c.num_sites = num_sites;
+  sim::NemesisOptions nopts;
+  nopts.horizon = Seconds(40);
+  nopts.heal_margin = Seconds(8);
+  nopts.intensity = intensity;
+  for (int i = 0; i < c.num_sites; ++i) {
+    nopts.nodes.push_back(static_cast<sim::NodeId>(i));
+  }
+  c.schedule = sim::GenerateSchedule(nopts, seed);
+  return c;
+}
+
+namespace {
+
+bool HasViolationOfCheck(const ExperimentResult& r, const std::string& check) {
+  if (check.empty()) return !r.violations.empty();
+  for (const AuditViolation& v : r.violations) {
+    if (v.check == check) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+ChaosCase ShrinkCase(const ChaosCase& c, const AuditOptions& audit,
+                     int max_runs, int* runs_used) {
+  int runs = 0;
+  const auto reproduces = [&](const std::vector<sim::FaultOp>& ops) {
+    ++runs;
+    ChaosCase candidate = c;
+    candidate.schedule.ops = ops;
+    return HasViolationOfCheck(RunChaosCase(candidate, audit),
+                               c.violation_check);
+  };
+
+  std::vector<sim::FaultOp> ops = c.schedule.ops;
+  // ddmin (Zeller & Hildebrandt): try removing ever-finer chunks, keeping a
+  // reduction whenever the violation survives.
+  size_t n = 2;
+  while (ops.size() >= 2 && runs < max_runs) {
+    const size_t chunk = (ops.size() + n - 1) / n;
+    bool reduced = false;
+    for (size_t i = 0; i < n && i * chunk < ops.size(); ++i) {
+      if (runs >= max_runs) break;
+      std::vector<sim::FaultOp> candidate;
+      candidate.reserve(ops.size() - chunk);
+      for (size_t j = 0; j < ops.size(); ++j) {
+        if (j / chunk != i) candidate.push_back(ops[j]);
+      }
+      if (candidate.size() == ops.size() || candidate.empty()) continue;
+      if (reproduces(candidate)) {
+        ops = std::move(candidate);
+        n = std::max<size_t>(n - 1, 2);
+        reduced = true;
+        break;
+      }
+    }
+    if (!reduced) {
+      if (n >= ops.size()) break;  // 1-minimal
+      n = std::min(n * 2, ops.size());
+    }
+  }
+  // Final singleton sweep: drop any op whose removal keeps the violation.
+  for (size_t i = 0; i < ops.size() && ops.size() > 1 && runs < max_runs;) {
+    std::vector<sim::FaultOp> candidate = ops;
+    candidate.erase(candidate.begin() + static_cast<ptrdiff_t>(i));
+    if (reproduces(candidate)) {
+      ops = std::move(candidate);
+    } else {
+      ++i;
+    }
+  }
+
+  if (runs_used != nullptr) *runs_used = runs;
+  ChaosCase out = c;
+  out.schedule.ops = std::move(ops);
+  return out;
+}
+
+}  // namespace samya::harness

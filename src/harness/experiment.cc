@@ -105,6 +105,14 @@ void Experiment::Setup() {
   } else {
     SetupSamya();
   }
+
+  if (!opts_.fault_schedule.empty()) {
+    sim::ApplySchedule(opts_.fault_schedule, &cluster_->net());
+  }
+  if (opts_.audit.enabled) {
+    auditor_ = std::make_unique<InvariantAuditor>(this, opts_.audit);
+    auditor_->Install();
+  }
 }
 
 void Experiment::SetupSamya() {
@@ -115,7 +123,10 @@ void Experiment::SetupSamya() {
   for (int i = 0; i < n; ++i) {
     core::SiteOptions sopts = opts_.site_template;
     sopts.sites = site_ids;
-    sopts.initial_tokens = opts_.max_tokens / n;
+    // The first (max_tokens % n) sites absorb the division remainder so the
+    // pools sum to exactly M_e (Eq. 1 conservation holds from t=0).
+    sopts.initial_tokens =
+        opts_.max_tokens / n + (i < opts_.max_tokens % n ? 1 : 0);
     sopts.seasonal_period = 288;
     switch (opts_.system) {
       case SystemKind::kSamyaMajority:
@@ -179,13 +190,15 @@ void Experiment::SetupDemarcation() {
     if (opts_.system == SystemKind::kSiteEscrow) {
       baselines::SiteEscrowOptions sopts;
       sopts.sites = site_ids;
-      sopts.initial_tokens = opts_.max_tokens / n;
+      sopts.initial_tokens =
+          opts_.max_tokens / n + (i < opts_.max_tokens % n ? 1 : 0);
       cluster_->AddNode<baselines::SiteEscrowSite>(
           kClientRegions[static_cast<size_t>(i % 5)], sopts);
     } else {
       baselines::DemarcationOptions dopts;
       dopts.sites = site_ids;
-      dopts.initial_tokens = opts_.max_tokens / n;
+      dopts.initial_tokens =
+          opts_.max_tokens / n + (i < opts_.max_tokens % n ? 1 : 0);
       cluster_->AddNode<baselines::DemarcationSite>(
           kClientRegions[static_cast<size_t>(i % 5)], dopts);
     }
@@ -277,6 +290,11 @@ ExperimentResult Experiment::Run() {
   }
   result.network = cluster_->net().stats();
   result.events_executed = cluster_->env().events_executed();
+  if (auditor_ != nullptr) {
+    auditor_->FinalAudit();
+    result.violations = auditor_->violations();
+    result.audit_ticks = auditor_->ticks();
+  }
   return result;
 }
 

@@ -6,9 +6,11 @@
 #include <vector>
 
 #include "core/site.h"
+#include "harness/invariant_auditor.h"
 #include "harness/workload_client.h"
 #include "sim/cluster.h"
 #include "sim/fault_injector.h"
+#include "sim/nemesis.h"
 #include "workload/azure_generator.h"
 
 namespace samya::harness {
@@ -56,6 +58,13 @@ struct ExperimentOptions {
 
   // Samya knobs.
   core::SiteOptions site_template;  ///< timers/epoch defaults for sites
+
+  // Chaos knobs. `fault_schedule` is applied against the network during
+  // Setup (node ids: sites are 0..num_sites-1); `audit.enabled` installs a
+  // continuous InvariantAuditor before the run (Samya variants with the
+  // constraint on — it audits Eq. 1, which other systems do not promise).
+  sim::FaultSchedule fault_schedule;
+  AuditOptions audit;
 };
 
 /// Aggregated measurements of one run.
@@ -75,6 +84,10 @@ struct ExperimentResult {
   sim::NetworkStats network;
   uint64_t events_executed = 0;
 
+  // Filled when the run was audited (`ExperimentOptions::audit.enabled`).
+  std::vector<AuditViolation> violations;
+  uint64_t audit_ticks = 0;
+
   double MeanTps(Duration duration) const {
     return static_cast<double>(aggregate.TotalCommitted()) /
            ToSeconds(duration);
@@ -93,6 +106,8 @@ class Experiment {
 
   /// Runs the workload to completion (duration + drain) and aggregates.
   ExperimentResult Run();
+
+  const ExperimentOptions& options() const { return opts_; }
 
   /// Access between Setup and Run for fault/partition schedules.
   sim::Cluster& cluster() { return *cluster_; }
@@ -128,6 +143,7 @@ class Experiment {
   mutable std::unique_ptr<workload::DemandTrace> compressed_base_;
   std::unique_ptr<sim::Cluster> cluster_;
   std::unique_ptr<sim::FaultInjector> faults_;
+  std::unique_ptr<InvariantAuditor> auditor_;
   std::vector<core::Site*> sites_;
   std::vector<WorkloadClient*> clients_;
   std::vector<sim::NodeId> server_ids_;

@@ -1,0 +1,210 @@
+#include "harness/invariant_auditor.h"
+
+#include <algorithm>
+
+#include "common/codec.h"
+#include "common/logging.h"
+#include "common/macros.h"
+#include "core/site.h"
+#include "harness/experiment.h"
+
+namespace samya::harness {
+
+InvariantAuditor::InvariantAuditor(Experiment* experiment, AuditOptions opts)
+    : experiment_(experiment), opts_(opts) {}
+
+bool InvariantAuditor::Quiescent() const {
+  for (const core::Site* site : experiment_->samya_sites()) {
+    if (!site->alive() || site->frozen()) return false;
+  }
+  return true;
+}
+
+void InvariantAuditor::Report(const std::string& check, std::string detail) {
+  if (violations_.size() >= kMaxViolations) return;
+  const SimTime now = experiment_->cluster().env().Now();
+  SAMYA_LOG_ERROR("AUDIT t=%s %s: %s", FormatDuration(now).c_str(),
+                  check.c_str(), detail.c_str());
+  violations_.push_back({now, check, std::move(detail)});
+}
+
+void InvariantAuditor::OnInstanceEvent(const core::Site& site,
+                                       core::InstanceId instance,
+                                       const core::StateList* value) {
+  if (!opts_.check_agreement) return;
+  const int32_t site_id = site.id();
+  if (value == nullptr) {
+    // Abort. In any mode a durable abort by a *participant* of a decided
+    // value is a Theorem 2 violation: the deciders reallocate the aborter's
+    // pooled tokens while the aborter keeps them. Aborts by sites outside
+    // the decided R_t are routine (a cohort probed during the election but
+    // left out of the participant list gives up via its watchdog). In
+    // majority mode aborted elections legitimately re-run and commit, so
+    // the conflict check does not apply at all.
+    if (!any_mode_) return;
+    any_mode_aborts_.insert({instance, site_id});
+    auto decided = decided_participants_.find(instance);
+    if (decided != decided_participants_.end() &&
+        std::find(decided->second.begin(), decided->second.end(), site_id) !=
+            decided->second.end()) {
+      Report("agreement",
+             "participant site " + std::to_string(site_id) +
+                 " aborted instance " + std::to_string(instance) +
+                 " already decided by site " +
+                 std::to_string(first_decider_[instance]));
+    }
+    return;
+  }
+
+  BufferWriter w;
+  value->EncodeTo(w);
+  auto [it, inserted] = decided_encodings_.try_emplace(instance, w.buffer());
+  if (inserted) {
+    first_decider_[instance] = site_id;
+    std::vector<int32_t> participants;
+    for (sim::NodeId p : value->Participants()) {
+      participants.push_back(static_cast<int32_t>(p));
+    }
+    decided_participants_[instance] = std::move(participants);
+  } else if (it->second != w.buffer()) {
+    Report("agreement",
+           "divergent decisions for instance " + std::to_string(instance) +
+               ": site " + std::to_string(site_id) + " decided " +
+               value->ToString() + ", site " +
+               std::to_string(first_decider_[instance]) +
+               " decided differently");
+  }
+  if (any_mode_) {
+    const auto& participants = decided_participants_[instance];
+    for (const auto& [aborted_instance, aborter] : any_mode_aborts_) {
+      if (aborted_instance != instance) continue;
+      if (std::find(participants.begin(), participants.end(), aborter) ==
+          participants.end()) {
+        continue;  // non-participant abort: routine
+      }
+      Report("agreement",
+             "site " + std::to_string(site_id) + " decided instance " +
+                 std::to_string(instance) +
+                 " durably aborted by participant site " +
+                 std::to_string(aborter));
+    }
+  }
+}
+
+void InvariantAuditor::CheckTokenInvariants(bool final_audit) {
+  const int64_t ledger = experiment_->ServerNetAcquires();
+  if (opts_.check_constraint) {
+    // Eq. 1 as an inequality holds continuously: committed-and-unreleased
+    // acquires can never exceed M_e, regardless of crashes or freezes.
+    if (ledger > max_tokens_) {
+      Report("constraint", "net committed acquires " + std::to_string(ledger) +
+                               " exceed M_e " + std::to_string(max_tokens_));
+    }
+    for (const core::Site* site : experiment_->samya_sites()) {
+      if (site->tokens_left() < 0) {
+        Report("non_negative",
+               "site " + std::to_string(site->id()) + " pool is " +
+                   std::to_string(site->tokens_left()));
+      }
+    }
+  }
+  if (opts_.check_conservation) {
+    // The equality needs a quiescent instant unless the guard is off.
+    if (opts_.require_quiescence && !Quiescent()) return;
+    const int64_t pools = experiment_->TotalSiteTokens();
+    if (pools + ledger != max_tokens_) {
+      Report("conservation",
+             "site pools " + std::to_string(pools) + " + net acquires " +
+                 std::to_string(ledger) + " != M_e " +
+                 std::to_string(max_tokens_) +
+                 (final_audit ? " (final)" : ""));
+    }
+  }
+}
+
+void InvariantAuditor::Tick() {
+  ++ticks_;
+  CheckTokenInvariants(/*final_audit=*/false);
+}
+
+void InvariantAuditor::Install() {
+  SAMYA_CHECK(opts_.enabled);
+  const ExperimentOptions& eopts = experiment_->options();
+  any_mode_ = eopts.system == SystemKind::kSamyaAny ||
+              eopts.system == SystemKind::kSamyaAnyNoPredict;
+  max_tokens_ = eopts.max_tokens;
+  // Keep ticking through the post-load drain, then stop so the event queue
+  // empties (RunUntilIdle in tests must terminate).
+  stop_ticking_after_ = eopts.duration + Seconds(9);
+
+  for (core::Site* site : experiment_->samya_sites()) {
+    site->set_instance_observer(
+        [this](const core::Site& s, core::InstanceId instance,
+               const core::StateList* value) {
+          OnInstanceEvent(s, instance, value);
+        });
+  }
+
+  sim::SimEnvironment& env = experiment_->cluster().env();
+  ScheduleNextTick();
+
+  if (opts_.check_liveness && opts_.heal_time > 0 &&
+      opts_.heal_time + opts_.liveness_grace < opts_.load_end) {
+    probe_armed_ = true;
+    env.ScheduleAt(opts_.heal_time + opts_.liveness_grace, [this] {
+      probe_fired_ = true;
+      committed_at_probe_ = CommittedOps();
+    });
+  }
+}
+
+uint64_t InvariantAuditor::CommittedOps() const {
+  uint64_t total = 0;
+  for (const core::Site* site : experiment_->samya_sites()) {
+    total += site->stats().committed_acquires +
+             site->stats().committed_releases + site->stats().committed_reads;
+  }
+  return total;
+}
+
+void InvariantAuditor::ScheduleNextTick() {
+  sim::SimEnvironment& env = experiment_->cluster().env();
+  if (env.Now() >= stop_ticking_after_) return;
+  env.Schedule(opts_.period, [this] {
+    Tick();
+    ScheduleNextTick();
+  });
+}
+
+void InvariantAuditor::FinalAudit() {
+  CheckTokenInvariants(/*final_audit=*/true);
+  if (!opts_.check_liveness || opts_.heal_time == 0) return;
+
+  const SimTime now = experiment_->cluster().env().Now();
+  // A site still frozen long after the final heal is stuck: its engaged
+  // instance should have decided or aborted within the grace window.
+  for (const core::Site* site : experiment_->samya_sites()) {
+    if (!site->alive()) {
+      Report("liveness", "site " + std::to_string(site->id()) +
+                             " still crashed after the terminal heal");
+      continue;
+    }
+    if (site->frozen() &&
+        now - site->frozen_since() > opts_.liveness_grace) {
+      Report("liveness",
+             "site " + std::to_string(site->id()) + " frozen since " +
+                 FormatDuration(site->frozen_since()) +
+                 ", past the post-heal grace window");
+    }
+  }
+  if (probe_armed_ && probe_fired_) {
+    const uint64_t committed_now = CommittedOps();
+    if (committed_now == committed_at_probe_) {
+      Report("liveness",
+             "no operation committed after heal+grace (" +
+                 std::to_string(committed_at_probe_) + " ops at probe)");
+    }
+  }
+}
+
+}  // namespace samya::harness

@@ -1,6 +1,7 @@
 #ifndef SAMYA_SIM_FAULT_INJECTOR_H_
 #define SAMYA_SIM_FAULT_INJECTOR_H_
 
+#include <algorithm>
 #include <vector>
 
 #include "sim/network.h"
@@ -36,15 +37,26 @@ class FaultInjector {
   }
 
   /// Random crash/recover churn over [0, horizon): each listed node
-  /// independently crashes ~`crashes_per_node` times and stays down for
-  /// `downtime`. Useful for protocol property tests.
+  /// crashes `crashes_per_node` times and stays down for up to `downtime`.
+  /// Per-node windows are disjoint and strictly ordered — the horizon is
+  /// split into `crashes_per_node` equal strata and each crash/recover pair
+  /// is confined to its own stratum, so a node is never crashed while
+  /// already down or recovered out of order. Deterministic for a given
+  /// `rng` state. Useful for protocol property tests.
   void RandomChurn(const std::vector<NodeId>& nodes, SimTime horizon,
                    int crashes_per_node, Duration downtime, Rng& rng) {
+    if (crashes_per_node <= 0) return;
+    const SimTime stratum = horizon / crashes_per_node;
     for (NodeId id : nodes) {
       for (int k = 0; k < crashes_per_node; ++k) {
-        const SimTime t = rng.UniformInt(0, horizon - downtime - 1);
-        CrashAt(t, id);
-        RecoverAt(t + downtime, id);
+        const SimTime lo = stratum * k;
+        // Leave at least 1 tick after recovery before the stratum ends so
+        // adjacent windows never touch, even with maximal downtime.
+        const Duration down = std::min<Duration>(downtime, stratum - 2);
+        if (down <= 0) continue;  // stratum too small to fit a window
+        const SimTime start = lo + rng.UniformInt(0, stratum - down - 2);
+        CrashAt(start, id);
+        RecoverAt(start + down, id);
       }
     }
   }

@@ -1,0 +1,391 @@
+#include "sim/nemesis.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/macros.h"
+
+namespace samya::sim {
+
+const char* FaultKindName(FaultOp::Kind kind) {
+  switch (kind) {
+    case FaultOp::Kind::kCrash: return "crash";
+    case FaultOp::Kind::kRecover: return "recover";
+    case FaultOp::Kind::kPartition: return "partition";
+    case FaultOp::Kind::kHeal: return "heal";
+    case FaultOp::Kind::kCutLink: return "cut_link";
+    case FaultOp::Kind::kRestoreLink: return "restore_link";
+    case FaultOp::Kind::kSetLossRate: return "set_loss_rate";
+    case FaultOp::Kind::kSetDelayFactor: return "set_delay_factor";
+    case FaultOp::Kind::kSetLinkDelayFactor: return "set_link_delay_factor";
+    case FaultOp::Kind::kSetDuplicateRate: return "set_duplicate_rate";
+    case FaultOp::Kind::kClearLinkFaults: return "clear_link_faults";
+  }
+  return "unknown";
+}
+
+namespace {
+
+struct KindNameEntry {
+  const char* name;
+  FaultOp::Kind kind;
+};
+
+constexpr KindNameEntry kKindNames[] = {
+    {"crash", FaultOp::Kind::kCrash},
+    {"recover", FaultOp::Kind::kRecover},
+    {"partition", FaultOp::Kind::kPartition},
+    {"heal", FaultOp::Kind::kHeal},
+    {"cut_link", FaultOp::Kind::kCutLink},
+    {"restore_link", FaultOp::Kind::kRestoreLink},
+    {"set_loss_rate", FaultOp::Kind::kSetLossRate},
+    {"set_delay_factor", FaultOp::Kind::kSetDelayFactor},
+    {"set_link_delay_factor", FaultOp::Kind::kSetLinkDelayFactor},
+    {"set_duplicate_rate", FaultOp::Kind::kSetDuplicateRate},
+    {"clear_link_faults", FaultOp::Kind::kClearLinkFaults},
+};
+
+bool KindFromName(const std::string& name, FaultOp::Kind* out) {
+  for (const auto& e : kKindNames) {
+    if (name == e.name) {
+      *out = e.kind;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string FormatFaultOp(const FaultOp& op) {
+  std::string s = "t=" + FormatDuration(op.at) + " " + FaultKindName(op.kind);
+  switch (op.kind) {
+    case FaultOp::Kind::kCrash:
+    case FaultOp::Kind::kRecover:
+      s += " node " + std::to_string(op.a);
+      break;
+    case FaultOp::Kind::kCutLink:
+    case FaultOp::Kind::kRestoreLink:
+      s += " " + std::to_string(op.a) + "->" + std::to_string(op.b);
+      break;
+    case FaultOp::Kind::kSetLinkDelayFactor:
+      s += " " + std::to_string(op.a) + "->" + std::to_string(op.b) + " x" +
+           std::to_string(op.value);
+      break;
+    case FaultOp::Kind::kSetLossRate:
+    case FaultOp::Kind::kSetDelayFactor:
+    case FaultOp::Kind::kSetDuplicateRate:
+      s += " = " + std::to_string(op.value);
+      break;
+    case FaultOp::Kind::kPartition: {
+      s += " {";
+      for (size_t g = 0; g < op.groups.size(); ++g) {
+        if (g > 0) s += " | ";
+        for (size_t i = 0; i < op.groups[g].size(); ++i) {
+          if (i > 0) s += ",";
+          s += std::to_string(op.groups[g][i]);
+        }
+      }
+      s += "}";
+      break;
+    }
+    case FaultOp::Kind::kHeal:
+    case FaultOp::Kind::kClearLinkFaults:
+      break;
+  }
+  return s;
+}
+
+void FaultSchedule::SortByTime() {
+  std::stable_sort(ops.begin(), ops.end(),
+                   [](const FaultOp& x, const FaultOp& y) { return x.at < y.at; });
+}
+
+JsonValue FaultSchedule::ToJson() const {
+  JsonValue doc = JsonValue::MakeObject();
+  doc.Set("format", "samya-fault-schedule-v1");
+  JsonValue arr = JsonValue::MakeArray();
+  for (const FaultOp& op : ops) {
+    JsonValue o = JsonValue::MakeObject();
+    o.Set("at", op.at);
+    o.Set("kind", FaultKindName(op.kind));
+    if (op.a != kInvalidNode) o.Set("a", static_cast<int64_t>(op.a));
+    if (op.b != kInvalidNode) o.Set("b", static_cast<int64_t>(op.b));
+    if (op.value != 0.0) o.Set("value", op.value);
+    if (!op.groups.empty()) {
+      JsonValue gs = JsonValue::MakeArray();
+      for (const auto& group : op.groups) {
+        JsonValue g = JsonValue::MakeArray();
+        for (NodeId id : group) g.Append(static_cast<int64_t>(id));
+        gs.Append(std::move(g));
+      }
+      o.Set("groups", std::move(gs));
+    }
+    arr.Append(std::move(o));
+  }
+  doc.Set("ops", std::move(arr));
+  return doc;
+}
+
+Result<FaultSchedule> FaultSchedule::FromJson(const JsonValue& v) {
+  if (!v.is_object()) {
+    return Status::InvalidArgument("fault schedule: not an object");
+  }
+  const std::string format = v.GetString("format", "");
+  if (format != "samya-fault-schedule-v1") {
+    return Status::InvalidArgument("fault schedule: unknown format '" +
+                                   format + "'");
+  }
+  const JsonValue* ops = v.Find("ops");
+  if (ops == nullptr || !ops->is_array()) {
+    return Status::InvalidArgument("fault schedule: missing ops array");
+  }
+  FaultSchedule out;
+  out.ops.reserve(ops->as_array().size());
+  for (const JsonValue& o : ops->as_array()) {
+    if (!o.is_object()) {
+      return Status::InvalidArgument("fault schedule: op is not an object");
+    }
+    FaultOp op;
+    op.at = o.GetInt("at", -1);
+    if (op.at < 0) return Status::InvalidArgument("fault op: bad 'at'");
+    const std::string kind = o.GetString("kind", "");
+    if (!KindFromName(kind, &op.kind)) {
+      return Status::InvalidArgument("fault op: unknown kind '" + kind + "'");
+    }
+    op.a = static_cast<NodeId>(o.GetInt("a", kInvalidNode));
+    op.b = static_cast<NodeId>(o.GetInt("b", kInvalidNode));
+    op.value = o.GetDouble("value", 0.0);
+    if (const JsonValue* gs = o.Find("groups"); gs != nullptr) {
+      if (!gs->is_array()) {
+        return Status::InvalidArgument("fault op: groups is not an array");
+      }
+      for (const JsonValue& g : gs->as_array()) {
+        if (!g.is_array()) {
+          return Status::InvalidArgument("fault op: group is not an array");
+        }
+        std::vector<NodeId> group;
+        for (const JsonValue& id : g.as_array()) {
+          if (!id.is_int()) {
+            return Status::InvalidArgument("fault op: group id not an int");
+          }
+          group.push_back(static_cast<NodeId>(id.as_int()));
+        }
+        op.groups.push_back(std::move(group));
+      }
+    }
+    out.ops.push_back(std::move(op));
+  }
+  return out;
+}
+
+namespace {
+
+void ApplyOp(const FaultOp& op, Network* net) {
+  switch (op.kind) {
+    case FaultOp::Kind::kCrash:
+      net->Crash(op.a);
+      break;
+    case FaultOp::Kind::kRecover:
+      net->Recover(op.a);
+      break;
+    case FaultOp::Kind::kPartition:
+      net->SetPartition(op.groups);
+      break;
+    case FaultOp::Kind::kHeal:
+      net->ClearPartition();
+      break;
+    case FaultOp::Kind::kCutLink:
+      net->CutLink(op.a, op.b);
+      break;
+    case FaultOp::Kind::kRestoreLink:
+      net->RestoreLink(op.a, op.b);
+      break;
+    case FaultOp::Kind::kSetLossRate:
+      net->set_loss_rate(op.value);
+      break;
+    case FaultOp::Kind::kSetDelayFactor:
+      net->set_delay_factor(op.value);
+      break;
+    case FaultOp::Kind::kSetLinkDelayFactor:
+      net->SetLinkDelayFactor(op.a, op.b, op.value);
+      break;
+    case FaultOp::Kind::kSetDuplicateRate:
+      net->set_duplicate_rate(op.value);
+      break;
+    case FaultOp::Kind::kClearLinkFaults:
+      net->ClearLinkFaults();
+      break;
+  }
+}
+
+}  // namespace
+
+void ApplySchedule(const FaultSchedule& schedule, Network* net) {
+  for (const FaultOp& op : schedule.ops) {
+    // The op is copied into the closure (a ~80-byte capture with the groups
+    // vector, so this takes InlineFunction's heap fallback — fine for the
+    // handful of fault events per run).
+    net->env()->ScheduleAt(op.at, [net, op] { ApplyOp(op, net); });
+  }
+}
+
+FaultSchedule GenerateSchedule(const NemesisOptions& opts, uint64_t seed) {
+  FaultSchedule out;
+  if (opts.intensity <= 0.0 || opts.nodes.empty()) return out;
+
+  Rng rng = Rng(seed).Fork(0x6e656d65);  // "neme": independent of sim streams
+  const SimTime end = opts.horizon - opts.heal_margin;
+  SAMYA_CHECK_GT(end, 0);
+  const auto count = [&](double baseline) {
+    return static_cast<int>(std::lround(baseline * opts.intensity));
+  };
+  // Severity knob: intensity 1 draws mid-range values, higher intensities
+  // push toward the configured maxima.
+  const double sev = std::min(1.0, 0.35 + 0.25 * opts.intensity);
+  const auto severity = [&](double max_value, double floor_value) {
+    const double hi = floor_value + (max_value - floor_value) * sev;
+    return rng.Uniform(floor_value, hi);
+  };
+
+  // --- Crash churn: per-node stratified windows (disjoint, ordered).
+  const int cycles = count(opts.crash_cycles);
+  if (cycles > 0) {
+    const SimTime stratum = end / cycles;
+    for (NodeId id : opts.nodes) {
+      for (int k = 0; k < cycles; ++k) {
+        const SimTime lo = stratum * k;
+        const Duration max_down =
+            std::min<Duration>(opts.max_downtime, stratum - 2);
+        if (max_down <= 0) continue;
+        const Duration min_down = std::min(opts.min_downtime, max_down);
+        const Duration down = rng.UniformInt(min_down, max_down);
+        const SimTime start = lo + rng.UniformInt(0, stratum - down - 2);
+        out.ops.push_back({start, FaultOp::Kind::kCrash, id});
+        out.ops.push_back({start + down, FaultOp::Kind::kRecover, id});
+      }
+    }
+  }
+
+  // Window helper for the global fault classes: stratify [0, end) so each
+  // wave gets its own slot and waves of the same class never overlap.
+  const auto window = [&](int i, int n, SimTime* start, Duration* dur) {
+    const SimTime stratum = end / n;
+    const SimTime lo = stratum * i;
+    *dur = rng.UniformInt(stratum / 4, (3 * stratum) / 4);
+    *start = lo + rng.UniformInt(0, stratum - *dur - 1);
+  };
+
+  // --- Rolling partitions: random bipartition of the eligible nodes.
+  const int waves = count(opts.partition_waves);
+  for (int i = 0; i < waves; ++i) {
+    SimTime start;
+    Duration dur;
+    window(i, waves, &start, &dur);
+    std::vector<NodeId> shuffled = opts.nodes;
+    for (size_t j = shuffled.size(); j > 1; --j) {
+      std::swap(shuffled[j - 1],
+                shuffled[static_cast<size_t>(rng.UniformInt(
+                    0, static_cast<int64_t>(j) - 1))]);
+    }
+    const size_t cut = static_cast<size_t>(
+        rng.UniformInt(1, static_cast<int64_t>(shuffled.size()) - 1));
+    FaultOp op{start, FaultOp::Kind::kPartition};
+    op.groups.emplace_back(shuffled.begin(), shuffled.begin() + cut);
+    op.groups.emplace_back(shuffled.begin() + cut, shuffled.end());
+    out.ops.push_back(std::move(op));
+    out.ops.push_back({start + dur, FaultOp::Kind::kHeal});
+  }
+
+  // --- Asymmetric link cuts: one direction of a random pair.
+  const int cuts = count(opts.link_cut_waves);
+  for (int i = 0; i < cuts; ++i) {
+    SimTime start;
+    Duration dur;
+    window(i, cuts, &start, &dur);
+    const size_t n = opts.nodes.size();
+    if (n < 2) break;
+    const NodeId from =
+        opts.nodes[static_cast<size_t>(rng.UniformInt(0, n - 1))];
+    NodeId to = from;
+    while (to == from) {
+      to = opts.nodes[static_cast<size_t>(rng.UniformInt(0, n - 1))];
+    }
+    out.ops.push_back({start, FaultOp::Kind::kCutLink, from, to});
+    out.ops.push_back({start + dur, FaultOp::Kind::kRestoreLink, from, to});
+  }
+
+  // --- Loss spikes.
+  const int spikes = count(opts.loss_spikes);
+  for (int i = 0; i < spikes; ++i) {
+    SimTime start;
+    Duration dur;
+    window(i, spikes, &start, &dur);
+    FaultOp up{start, FaultOp::Kind::kSetLossRate};
+    up.value = severity(opts.max_loss, 0.05);
+    out.ops.push_back(std::move(up));
+    out.ops.push_back({start + dur, FaultOp::Kind::kSetLossRate});
+  }
+
+  // --- Delay storms: alternate global and per-link storms.
+  const int storms = count(opts.delay_storms);
+  for (int i = 0; i < storms; ++i) {
+    SimTime start;
+    Duration dur;
+    window(i, storms, &start, &dur);
+    const double factor = severity(opts.max_delay_factor, 2.0);
+    if (i % 2 == 0 || opts.nodes.size() < 2) {
+      FaultOp up{start, FaultOp::Kind::kSetDelayFactor};
+      up.value = factor;
+      out.ops.push_back(std::move(up));
+      FaultOp down{start + dur, FaultOp::Kind::kSetDelayFactor};
+      down.value = 1.0;
+      out.ops.push_back(std::move(down));
+    } else {
+      const size_t n = opts.nodes.size();
+      const NodeId from =
+          opts.nodes[static_cast<size_t>(rng.UniformInt(0, n - 1))];
+      NodeId to = from;
+      while (to == from) {
+        to = opts.nodes[static_cast<size_t>(rng.UniformInt(0, n - 1))];
+      }
+      FaultOp up{start, FaultOp::Kind::kSetLinkDelayFactor, from, to};
+      up.value = factor;
+      out.ops.push_back(std::move(up));
+      FaultOp down{start + dur, FaultOp::Kind::kSetLinkDelayFactor, from, to};
+      down.value = 1.0;
+      out.ops.push_back(std::move(down));
+    }
+  }
+
+  // --- Duplication spikes.
+  const int dups = count(opts.duplicate_spikes);
+  for (int i = 0; i < dups; ++i) {
+    SimTime start;
+    Duration dur;
+    window(i, dups, &start, &dur);
+    FaultOp up{start, FaultOp::Kind::kSetDuplicateRate};
+    up.value = severity(opts.max_duplicate, 0.05);
+    out.ops.push_back(std::move(up));
+    out.ops.push_back({start + dur, FaultOp::Kind::kSetDuplicateRate});
+  }
+
+  // --- Terminal heal block: everything healthy by `end` so the tail of the
+  // run can drain and liveness-after-heal is meaningful.
+  out.ops.push_back({end, FaultOp::Kind::kHeal});
+  out.ops.push_back({end, FaultOp::Kind::kClearLinkFaults});
+  for (NodeId id : opts.nodes) {
+    out.ops.push_back({end, FaultOp::Kind::kRecover, id});
+  }
+  out.ops.push_back({end, FaultOp::Kind::kSetLossRate});
+  FaultOp delay_reset{end, FaultOp::Kind::kSetDelayFactor};
+  delay_reset.value = 1.0;
+  out.ops.push_back(std::move(delay_reset));
+  out.ops.push_back({end, FaultOp::Kind::kSetDuplicateRate});
+
+  out.SortByTime();
+  return out;
+}
+
+}  // namespace samya::sim

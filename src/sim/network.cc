@@ -5,6 +5,20 @@
 
 namespace samya::sim {
 
+const char* TapEventName(TapEvent ev) {
+  switch (ev) {
+    case TapEvent::kSent:
+      return "sent";
+    case TapEvent::kDroppedAtSend:
+      return "dropped_at_send";
+    case TapEvent::kDelivered:
+      return "delivered";
+    case TapEvent::kDroppedAtDelivery:
+      return "dropped_at_delivery";
+  }
+  return "unknown";
+}
+
 Network::Network(SimEnvironment* env, LatencyModel model)
     : env_(env), model_(model), rng_(env->rng().Fork(0x6e657477)) {}
 
@@ -31,6 +45,82 @@ bool Network::CanCommunicate(NodeId a, NodeId b) const {
          partition_group_[static_cast<size_t>(b)];
 }
 
+bool Network::LinkCut(NodeId from, NodeId to) const {
+  return cut_links_.contains(LinkKey(from, to));
+}
+
+void Network::CutLink(NodeId from, NodeId to) {
+  cut_links_.insert(LinkKey(from, to));
+  SAMYA_LOG_INFO("t=%s link %d->%d CUT", FormatDuration(env_->Now()).c_str(),
+                 from, to);
+}
+
+void Network::RestoreLink(NodeId from, NodeId to) {
+  cut_links_.erase(LinkKey(from, to));
+  SAMYA_LOG_INFO("t=%s link %d->%d restored",
+                 FormatDuration(env_->Now()).c_str(), from, to);
+}
+
+void Network::SetLinkDelayFactor(NodeId from, NodeId to, double factor) {
+  SAMYA_CHECK_GT(factor, 0.0);
+  if (factor == 1.0) {
+    link_delay_factor_.erase(LinkKey(from, to));
+  } else {
+    link_delay_factor_[LinkKey(from, to)] = factor;
+  }
+}
+
+void Network::ClearLinkFaults() {
+  cut_links_.clear();
+  link_delay_factor_.clear();
+}
+
+Duration Network::ScaledLatency(Node* sender, Node* receiver) {
+  const Duration base = model_.Sample(sender->region(), receiver->region(), rng_);
+  double factor = delay_factor_;
+  if (!link_delay_factor_.empty()) {
+    auto it = link_delay_factor_.find(LinkKey(sender->id(), receiver->id()));
+    if (it != link_delay_factor_.end()) factor *= it->second;
+  }
+  if (factor == 1.0) return base;
+  const double scaled = static_cast<double>(base) * factor;
+  return scaled < 1.0 ? Duration{1} : static_cast<Duration>(scaled);
+}
+
+void Network::Deliver(NodeId from, NodeId to, uint32_t type,
+                      std::vector<uint8_t> payload) {
+  Node* recv = node(to);
+  if (!recv->alive()) {
+    ++stats_.messages_dropped_crashed;
+    if (tap_) {
+      tap_(env_->Now(), from, to, type, payload.size(),
+           TapEvent::kDroppedAtDelivery);
+    }
+  } else if (partitioned_ && !CanCommunicate(from, to)) {
+    // A partition that formed while the message was in flight also cuts it.
+    ++stats_.messages_dropped_partition;
+    if (tap_) {
+      tap_(env_->Now(), from, to, type, payload.size(),
+           TapEvent::kDroppedAtDelivery);
+    }
+  } else if (!cut_links_.empty() && LinkCut(from, to)) {
+    // Same rule for a link cut that formed mid-flight.
+    ++stats_.messages_dropped_link;
+    if (tap_) {
+      tap_(env_->Now(), from, to, type, payload.size(),
+           TapEvent::kDroppedAtDelivery);
+    }
+  } else {
+    ++stats_.messages_delivered;
+    if (tap_) {
+      tap_(env_->Now(), from, to, type, payload.size(), TapEvent::kDelivered);
+    }
+    BufferReader reader(payload);
+    recv->HandleMessage(from, type, reader);
+  }
+  pool_.Release(std::move(payload));
+}
+
 void Network::Send(NodeId from, NodeId to, uint32_t type,
                    std::vector<uint8_t> payload) {
   Node* sender = node(from);
@@ -41,37 +131,53 @@ void Network::Send(NodeId from, NodeId to, uint32_t type,
 
   if (partitioned_ && !CanCommunicate(from, to)) {
     ++stats_.messages_dropped_partition;
-    if (tap_) tap_(env_->Now(), from, to, type, payload.size(), false);
+    if (tap_) {
+      tap_(env_->Now(), from, to, type, payload.size(),
+           TapEvent::kDroppedAtSend);
+    }
+    pool_.Release(std::move(payload));
+    return;
+  }
+  if (!cut_links_.empty() && LinkCut(from, to)) {
+    ++stats_.messages_dropped_link;
+    if (tap_) {
+      tap_(env_->Now(), from, to, type, payload.size(),
+           TapEvent::kDroppedAtSend);
+    }
     pool_.Release(std::move(payload));
     return;
   }
   if (loss_rate_ > 0 && rng_.Bernoulli(loss_rate_)) {
     ++stats_.messages_dropped_loss;
-    if (tap_) tap_(env_->Now(), from, to, type, payload.size(), false);
+    if (tap_) {
+      tap_(env_->Now(), from, to, type, payload.size(),
+           TapEvent::kDroppedAtSend);
+    }
     pool_.Release(std::move(payload));
     return;
   }
-  if (tap_) tap_(env_->Now(), from, to, type, payload.size(), true);
+  if (tap_) tap_(env_->Now(), from, to, type, payload.size(), TapEvent::kSent);
 
-  const Duration latency =
-      model_.Sample(sender->region(), receiver->region(), rng_);
+  if (duplicate_rate_ > 0 && rng_.Bernoulli(duplicate_rate_)) {
+    // Inject a copy with an independently sampled latency; it races the
+    // original and may arrive first (duplication implies reordering).
+    ++stats_.messages_duplicated;
+    std::vector<uint8_t> copy = pool_.Acquire();
+    copy.assign(payload.begin(), payload.end());
+    const Duration dup_latency = ScaledLatency(sender, receiver);
+    env_->Schedule(dup_latency, [this, from, to, type,
+                                 payload = std::move(copy)]() mutable {
+      Deliver(from, to, type, std::move(payload));
+    });
+  }
+
+  const Duration latency = ScaledLatency(sender, receiver);
   // The delivery closure (48 bytes: this + ids + type + the payload vector)
   // fits SimCallback's inline buffer, and the payload returns to the pool
   // whether the message is delivered or dropped in flight.
   env_->Schedule(latency, [this, from, to, type,
                            payload = std::move(payload)]() mutable {
-    Node* recv = node(to);
-    if (!recv->alive()) {
-      ++stats_.messages_dropped_crashed;
-    } else if (partitioned_ && !CanCommunicate(from, to)) {
-      // A partition that formed while the message was in flight also cuts it.
-      ++stats_.messages_dropped_partition;
-    } else {
-      ++stats_.messages_delivered;
-      BufferReader reader(payload);
-      recv->HandleMessage(from, type, reader);
-    }
-    pool_.Release(std::move(payload));
+    Deliver(from, to, type, std::move(payload));
   });
 }
 

@@ -3,21 +3,38 @@
 
 #include <cstdint>
 #include <functional>
+#include <unordered_map>
 #include <vector>
 
 #include "common/buffer_pool.h"
+#include "common/flat_set64.h"
 #include "sim/environment.h"
 #include "sim/latency_model.h"
 #include "sim/node.h"
 
 namespace samya::sim {
 
-/// Observation hook: called for every message send attempt. `delivered` is
-/// false when the message was dropped at send time (loss/partition); drops
-/// at delivery time (crashed receiver) are not re-reported.
+/// Lifecycle stage reported through the `MessageTap`.
+///
+/// Every `Send` from an alive sender fires exactly one of `kSent` (accepted
+/// for transmission) or `kDroppedAtSend` (cut at send time by a partition,
+/// link cut, or Bernoulli loss). A `kSent` message later fires exactly one of
+/// `kDelivered` or `kDroppedAtDelivery` (receiver crashed, or a partition /
+/// link cut formed while it was in flight). Duplicated copies fire their own
+/// terminal event but no extra `kSent`.
+enum class TapEvent : uint8_t {
+  kSent,
+  kDroppedAtSend,
+  kDelivered,
+  kDroppedAtDelivery,
+};
+
+const char* TapEventName(TapEvent ev);
+
+/// Observation hook: called at each message lifecycle stage (see TapEvent).
 using MessageTap = std::function<void(SimTime at, NodeId from, NodeId to,
                                       uint32_t type, size_t bytes,
-                                      bool delivered)>;
+                                      TapEvent event)>;
 
 /// Counters exposed for tests and experiment reports.
 struct NetworkStats {
@@ -26,15 +43,20 @@ struct NetworkStats {
   uint64_t messages_dropped_loss = 0;
   uint64_t messages_dropped_partition = 0;
   uint64_t messages_dropped_crashed = 0;
+  uint64_t messages_dropped_link = 0;  ///< one-way link cuts (send + in-flight)
+  uint64_t messages_duplicated = 0;    ///< extra copies injected
   uint64_t bytes_sent = 0;
 };
 
 /// \brief Simulated asynchronous geo-distributed network (§3.1's model:
-/// messages may be delayed, dropped, or reordered; crash faults; partitions).
+/// messages may be delayed, dropped, duplicated, or reordered; crash faults;
+/// partitions; asymmetric link cuts; delay storms).
 ///
 /// Messages are byte buffers; delivery latency is drawn from the
-/// `LatencyModel` for the sender/receiver region pair. Partition groups cut
-/// all communication between groups. Loss is Bernoulli per message.
+/// `LatencyModel` for the sender/receiver region pair, then scaled by the
+/// global delay factor and any per-link factor. Partition groups cut all
+/// communication between groups. A link cut severs one direction only. Loss
+/// and duplication are Bernoulli per message.
 class Network {
  public:
   Network(SimEnvironment* env, LatencyModel model);
@@ -65,9 +87,38 @@ class Network {
   bool Partitioned() const { return partitioned_; }
   bool CanCommunicate(NodeId a, NodeId b) const;
 
+  /// Cuts the directed link `from -> to`: messages in that direction drop
+  /// (at send time, and in flight at delivery time). The reverse direction
+  /// is unaffected, which models an asymmetric partition.
+  void CutLink(NodeId from, NodeId to);
+
+  /// Restores a previously cut directed link (no-op if not cut).
+  void RestoreLink(NodeId from, NodeId to);
+
+  /// True iff the directed link `from -> to` is currently cut.
+  bool LinkCut(NodeId from, NodeId to) const;
+
+  /// Multiplies the sampled latency of the directed link `from -> to` by
+  /// `factor` (a "delay storm" on one link). `factor == 1.0` removes the
+  /// override. Composes multiplicatively with the global delay factor.
+  void SetLinkDelayFactor(NodeId from, NodeId to, double factor);
+
+  /// Removes every link cut and per-link delay override.
+  void ClearLinkFaults();
+
+  /// Multiplies every sampled latency by `f` (global delay storm).
+  void set_delay_factor(double f) { delay_factor_ = f; }
+  double delay_factor() const { return delay_factor_; }
+
   /// Probability in [0,1] that any given message is silently lost.
   void set_loss_rate(double p) { loss_rate_ = p; }
   double loss_rate() const { return loss_rate_; }
+
+  /// Probability in [0,1] that a transmitted message is delivered twice;
+  /// the copy takes an independently sampled latency, so it may arrive
+  /// before the original (reordering) or be dropped independently.
+  void set_duplicate_rate(double p) { duplicate_rate_ = p; }
+  double duplicate_rate() const { return duplicate_rate_; }
 
   Node* node(NodeId id) const;
   size_t num_nodes() const { return nodes_.size(); }
@@ -85,12 +136,30 @@ class Network {
   uint64_t ArmTimer(Node* node, Duration delay, uint64_t token);
 
  private:
+  static uint64_t LinkKey(NodeId from, NodeId to) {
+    // +1 keeps the key nonzero for every valid (from, to) pair, since
+    // FlatSet64 reserves key 0 as its empty sentinel.
+    return (static_cast<uint64_t>(static_cast<uint32_t>(from + 1)) << 32) |
+           static_cast<uint64_t>(static_cast<uint32_t>(to + 1));
+  }
+
+  /// Samples link latency and applies global and per-link delay factors.
+  Duration ScaledLatency(Node* sender, Node* receiver);
+
+  /// Delivery-time half of `Send`: runs when a scheduled copy arrives.
+  void Deliver(NodeId from, NodeId to, uint32_t type,
+               std::vector<uint8_t> payload);
+
   SimEnvironment* env_;
   LatencyModel model_;
   std::vector<Node*> nodes_;
   std::vector<int> partition_group_;  // per node; meaningful iff partitioned_
   bool partitioned_ = false;
   double loss_rate_ = 0.0;
+  double duplicate_rate_ = 0.0;
+  double delay_factor_ = 1.0;
+  FlatSet64 cut_links_;  // directed cuts, keyed by LinkKey(from, to)
+  std::unordered_map<uint64_t, double> link_delay_factor_;
   Rng rng_;
   NetworkStats stats_;
   BufferPool pool_;

@@ -1,0 +1,156 @@
+#include "common/json.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace samya {
+namespace {
+
+TEST(JsonTest, ScalarConstructionAndAccess) {
+  EXPECT_TRUE(JsonValue().is_null());
+  EXPECT_TRUE(JsonValue(nullptr).is_null());
+  EXPECT_TRUE(JsonValue(true).as_bool());
+  EXPECT_EQ(JsonValue(7).as_int(), 7);
+  EXPECT_EQ(JsonValue(int64_t{-5}).as_int(), -5);
+  EXPECT_DOUBLE_EQ(JsonValue(2.5).as_double(), 2.5);
+  EXPECT_DOUBLE_EQ(JsonValue(7).as_double(), 7.0);  // int promotes
+  EXPECT_EQ(JsonValue("hi").as_string(), "hi");
+  EXPECT_TRUE(JsonValue(3).is_number());
+  EXPECT_TRUE(JsonValue(3.0).is_number());
+  EXPECT_FALSE(JsonValue(3).is_double());  // int stays int
+}
+
+TEST(JsonTest, ObjectPreservesInsertionOrder) {
+  JsonValue obj = JsonValue::MakeObject();
+  obj.Set("zebra", 1);
+  obj.Set("apple", 2);
+  obj.Set("mango", 3);
+  EXPECT_EQ(JsonDump(obj), R"({"zebra":1,"apple":2,"mango":3})");
+  ASSERT_NE(obj.Find("apple"), nullptr);
+  EXPECT_EQ(obj.Find("apple")->as_int(), 2);
+  EXPECT_EQ(obj.Find("missing"), nullptr);
+}
+
+TEST(JsonTest, TypedGettersWithFallbacks) {
+  JsonValue obj = JsonValue::MakeObject();
+  obj.Set("n", 42);
+  obj.Set("d", 1.5);
+  obj.Set("s", "str");
+  obj.Set("b", true);
+  EXPECT_EQ(obj.GetInt("n", -1), 42);
+  EXPECT_EQ(obj.GetInt("missing", -1), -1);
+  EXPECT_DOUBLE_EQ(obj.GetDouble("d", 0.0), 1.5);
+  EXPECT_DOUBLE_EQ(obj.GetDouble("n", 0.0), 42.0);  // int readable as double
+  EXPECT_EQ(obj.GetString("s", ""), "str");
+  EXPECT_EQ(obj.GetString("n", "fb"), "fb");  // wrong type -> fallback
+  EXPECT_TRUE(obj.GetBool("b", false));
+  EXPECT_TRUE(obj.GetBool("missing", true));
+}
+
+TEST(JsonTest, ParseScalars) {
+  EXPECT_TRUE(JsonParse("null").value().is_null());
+  EXPECT_TRUE(JsonParse("true").value().as_bool());
+  EXPECT_FALSE(JsonParse("false").value().as_bool());
+  EXPECT_EQ(JsonParse("-123").value().as_int(), -123);
+  EXPECT_TRUE(JsonParse("123").value().is_int());
+  EXPECT_TRUE(JsonParse("1.5").value().is_double());
+  EXPECT_TRUE(JsonParse("1e3").value().is_double());
+  EXPECT_DOUBLE_EQ(JsonParse("1e3").value().as_double(), 1000.0);
+  EXPECT_EQ(JsonParse("\"abc\"").value().as_string(), "abc");
+}
+
+TEST(JsonTest, Int64RoundTripsExactly) {
+  // SimTime microsecond values must not lose precision through a double.
+  const int64_t big = (int64_t{1} << 62) + 12345;
+  JsonValue obj = JsonValue::MakeObject();
+  obj.Set("at", big);
+  auto parsed = JsonParse(JsonDump(obj));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed.value().Find("at")->is_int());
+  EXPECT_EQ(parsed.value().Find("at")->as_int(), big);
+}
+
+TEST(JsonTest, StringEscapes) {
+  JsonValue v = std::string("a\"b\\c\n\t\x01z");
+  const std::string dumped = JsonDump(v);
+  EXPECT_EQ(dumped, R"("a\"b\\c\n\t\u0001z")");
+  auto parsed = JsonParse(dumped);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().as_string(), v.as_string());
+}
+
+TEST(JsonTest, UnicodeEscapesAndSurrogatePairs) {
+  auto snowman = JsonParse("\"\\u2603\"");
+  ASSERT_TRUE(snowman.ok());
+  EXPECT_EQ(snowman.value().as_string(), "\xE2\x98\x83");
+  // U+1F600 encoded as a surrogate pair.
+  auto emoji = JsonParse("\"\\uD83D\\uDE00\"");
+  ASSERT_TRUE(emoji.ok());
+  EXPECT_EQ(emoji.value().as_string(), "\xF0\x9F\x98\x80");
+  // A lone high surrogate is malformed.
+  EXPECT_FALSE(JsonParse("\"\\uD83D\"").ok());
+}
+
+TEST(JsonTest, NestedRoundTripCompactAndIndented) {
+  JsonValue doc = JsonValue::MakeObject();
+  doc.Set("name", "case");
+  doc.Set("pi", 3.25);
+  JsonValue arr = JsonValue::MakeArray();
+  arr.Append(1);
+  arr.Append(JsonValue::MakeObject());
+  arr.as_array()[1].Set("deep", false);
+  doc.Set("items", std::move(arr));
+
+  for (int indent : {0, 2, 4}) {
+    auto parsed = JsonParse(JsonDump(doc, indent));
+    ASSERT_TRUE(parsed.ok()) << "indent=" << indent;
+    EXPECT_EQ(parsed.value(), doc) << "indent=" << indent;
+  }
+}
+
+TEST(JsonTest, DoublesSurviveRoundTrip) {
+  for (double d : {0.1, 1e-17, 1e17, -2.5, 1234.5678}) {
+    auto parsed = JsonParse(JsonDump(JsonValue(d)));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_DOUBLE_EQ(parsed.value().as_double(), d);
+  }
+  // Whole-valued doubles keep a fractional marker so they re-parse as
+  // doubles, not ints.
+  auto two = JsonParse(JsonDump(JsonValue(2.0)));
+  ASSERT_TRUE(two.ok());
+  EXPECT_TRUE(two.value().is_double());
+}
+
+TEST(JsonTest, ParseErrors) {
+  EXPECT_FALSE(JsonParse("").ok());
+  EXPECT_FALSE(JsonParse("{").ok());
+  EXPECT_FALSE(JsonParse("[1,]").ok());     // trailing comma
+  EXPECT_FALSE(JsonParse("{'a':1}").ok());  // single quotes
+  EXPECT_FALSE(JsonParse("[1] trailing").ok());
+  EXPECT_FALSE(JsonParse("nul").ok());
+  EXPECT_FALSE(JsonParse("\"unterminated").ok());
+  EXPECT_FALSE(JsonParse("01").ok());  // leading zero
+}
+
+TEST(JsonTest, DepthLimitRejectsBombs) {
+  std::string bomb(100, '[');
+  bomb += std::string(100, ']');
+  EXPECT_FALSE(JsonParse(bomb).ok());
+  // 32 levels is comfortably within the limit.
+  std::string fine(32, '[');
+  fine += "1";
+  fine += std::string(32, ']');
+  EXPECT_TRUE(JsonParse(fine).ok());
+}
+
+TEST(JsonTest, EqualityIsDeep) {
+  auto a = JsonParse(R"({"x":[1,2,{"y":true}]})").value();
+  auto b = JsonParse(R"({"x":[1,2,{"y":true}]})").value();
+  auto c = JsonParse(R"({"x":[1,2,{"y":false}]})").value();
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+}  // namespace
+}  // namespace samya

@@ -1,0 +1,117 @@
+#include "harness/invariant_auditor.h"
+
+#include <gtest/gtest.h>
+
+#include "harness/chaos.h"
+#include "harness/experiment.h"
+
+namespace samya::harness {
+namespace {
+
+ChaosCase SmallCase(SystemKind system = SystemKind::kSamyaMajority) {
+  ChaosCase c;
+  c.system = system;
+  c.seed = 42;
+  c.max_tokens = 1200;  // tight pool: redistributions must happen
+  c.duration = Seconds(30);
+  return c;
+}
+
+TEST(InvariantAuditorTest, CleanRunAuditsWithoutViolations) {
+  for (SystemKind system :
+       {SystemKind::kSamyaMajority, SystemKind::kSamyaAny}) {
+    AuditOptions audit;
+    const ExperimentResult r = RunChaosCase(SmallCase(system), audit);
+    EXPECT_TRUE(r.violations.empty())
+        << SystemName(system) << ": " << r.violations.front().check << " "
+        << r.violations.front().detail;
+    // The periodic tick actually ran throughout the load window.
+    EXPECT_GE(r.audit_ticks, 30u) << SystemName(system);
+  }
+}
+
+TEST(InvariantAuditorTest, ConservationHoldsAtQuiescenceAcrossCrashes) {
+  // A crash + recover cycle with the guard on: the auditor skips the
+  // non-quiescent window and the run must come out clean.
+  ChaosCase c = SmallCase();
+  c.schedule.ops.push_back({Seconds(5), sim::FaultOp::Kind::kCrash, 1});
+  c.schedule.ops.push_back({Seconds(9), sim::FaultOp::Kind::kRecover, 1});
+  AuditOptions audit;
+  const ExperimentResult r = RunChaosCase(c, audit);
+  EXPECT_TRUE(r.violations.empty())
+      << r.violations.front().check << " " << r.violations.front().detail;
+}
+
+TEST(InvariantAuditorTest, GuardOffFlagsConservationDuringCrashWindow) {
+  // With the quiescence guard disabled, the same crash makes the Eq. 1
+  // equality fail deterministically while site 1's pool reads zero. This is
+  // the manufactured-violation path the shrink pipeline relies on.
+  ChaosCase c = SmallCase();
+  c.quiescence_guard = false;
+  c.schedule.ops.push_back({Seconds(5), sim::FaultOp::Kind::kCrash, 1});
+  c.schedule.ops.push_back({Seconds(9), sim::FaultOp::Kind::kRecover, 1});
+  AuditOptions audit;
+  const ExperimentResult r = RunChaosCase(c, audit);
+  ASSERT_FALSE(r.violations.empty());
+  EXPECT_EQ(r.violations.front().check, "conservation");
+  EXPECT_GE(r.violations.front().at, Seconds(5));
+}
+
+TEST(InvariantAuditorTest, LivenessFlagsSiteLeftCrashed) {
+  ChaosCase c = SmallCase();
+  c.schedule.ops.push_back({Seconds(5), sim::FaultOp::Kind::kCrash, 2});
+  // No recover op: the final audit must call out the dead site.
+  AuditOptions audit;
+  const ExperimentResult r = RunChaosCase(c, audit);
+  bool flagged = false;
+  for (const AuditViolation& v : r.violations) {
+    if (v.check == "liveness" &&
+        v.detail.find("still crashed") != std::string::npos) {
+      flagged = true;
+    }
+  }
+  EXPECT_TRUE(flagged);
+}
+
+TEST(InvariantAuditorTest, AuditedRunsAreDeterministic) {
+  ChaosCase c = MakeNemesisCase(SystemKind::kSamyaAny, /*seed=*/3,
+                                /*intensity=*/2.0);
+  c.duration = Seconds(30);
+  AuditOptions audit;
+  const ExperimentResult a = RunChaosCase(c, audit);
+  const ExperimentResult b = RunChaosCase(c, audit);
+  EXPECT_EQ(a.aggregate.TotalCommitted(), b.aggregate.TotalCommitted());
+  EXPECT_EQ(a.audit_ticks, b.audit_ticks);
+  ASSERT_EQ(a.violations.size(), b.violations.size());
+  for (size_t i = 0; i < a.violations.size(); ++i) {
+    EXPECT_EQ(a.violations[i].at, b.violations[i].at);
+    EXPECT_EQ(a.violations[i].detail, b.violations[i].detail);
+  }
+}
+
+TEST(InvariantAuditorTest, ChaosCaseJsonRoundTrip) {
+  ChaosCase c = MakeNemesisCase(SystemKind::kSamyaMajority, /*seed=*/9,
+                                /*intensity=*/1.5, /*num_sites=*/7);
+  c.quiescence_guard = false;
+  c.violation_check = "conservation";
+  c.note = "round trip";
+  auto parsed =
+      ChaosCase::FromJson(JsonParse(JsonDump(c.ToJson(), 2)).value());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const ChaosCase& d = parsed.value();
+  EXPECT_EQ(d.system, c.system);
+  EXPECT_EQ(d.seed, c.seed);
+  EXPECT_EQ(d.num_sites, c.num_sites);
+  EXPECT_EQ(d.max_tokens, c.max_tokens);
+  EXPECT_EQ(d.duration, c.duration);
+  EXPECT_EQ(d.quiescence_guard, c.quiescence_guard);
+  EXPECT_EQ(d.violation_check, c.violation_check);
+  EXPECT_EQ(d.note, c.note);
+  ASSERT_EQ(d.schedule.size(), c.schedule.size());
+  for (size_t i = 0; i < c.schedule.size(); ++i) {
+    EXPECT_EQ(d.schedule.ops[i], c.schedule.ops[i]) << "op " << i;
+  }
+}
+
+}  // namespace
+}  // namespace samya::harness

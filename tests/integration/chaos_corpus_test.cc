@@ -1,0 +1,91 @@
+// Replays every committed chaos case in tests/integration/chaos_corpus/.
+//
+// Each corpus file is a fully serialized ChaosCase. Cases with an empty
+// `violation_check` are regression guards: they encode fault schedules the
+// search once swept (or that exercised past bugs) and must replay with zero
+// invariant violations. Cases with a non-empty `violation_check` are known
+// reproducers (today: guard-off conservation cases from the shrink
+// pipeline) and must still produce that violation — if one goes quiet, the
+// reproducer rotted and should be regenerated.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "harness/chaos.h"
+
+namespace samya::harness {
+namespace {
+
+std::vector<std::filesystem::path> CorpusFiles() {
+  std::vector<std::filesystem::path> files;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(CHAOS_CORPUS_DIR)) {
+    if (entry.path().extension() == ".json") files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+ChaosCase LoadCase(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream text;
+  text << in.rdbuf();
+  auto doc = JsonParse(text.str());
+  EXPECT_TRUE(doc.ok()) << path << ": " << doc.status().ToString();
+  auto c = ChaosCase::FromJson(doc.value());
+  EXPECT_TRUE(c.ok()) << path << ": " << c.status().ToString();
+  return c.value();
+}
+
+TEST(ChaosCorpusTest, CorpusIsNonEmpty) {
+  EXPECT_GE(CorpusFiles().size(), 4u)
+      << "chaos corpus went missing from " << CHAOS_CORPUS_DIR;
+}
+
+TEST(ChaosCorpusTest, EveryCaseReplaysAsRecorded) {
+  for (const auto& path : CorpusFiles()) {
+    SCOPED_TRACE(path.filename().string());
+    const ChaosCase c = LoadCase(path);
+    AuditOptions audit;
+    const ExperimentResult r = RunChaosCase(c, audit);
+    if (c.violation_check.empty()) {
+      EXPECT_TRUE(r.violations.empty())
+          << r.violations.front().check << " at "
+          << FormatDuration(r.violations.front().at) << ": "
+          << r.violations.front().detail;
+      EXPECT_GT(r.aggregate.TotalCommitted(), 0u);
+    } else {
+      bool reproduced = false;
+      for (const AuditViolation& v : r.violations) {
+        if (v.check == c.violation_check) reproduced = true;
+      }
+      EXPECT_TRUE(reproduced)
+          << "expected a '" << c.violation_check << "' violation, got "
+          << r.violations.size() << " violation(s)";
+    }
+  }
+}
+
+TEST(ChaosCorpusTest, CorpusFilesAreCanonicalJson) {
+  // Committed files stay in JsonDump's canonical indent-2 form, so
+  // regenerating a case produces a minimal diff.
+  for (const auto& path : CorpusFiles()) {
+    SCOPED_TRACE(path.filename().string());
+    std::ifstream in(path);
+    std::ostringstream text;
+    text << in.rdbuf();
+    auto doc = JsonParse(text.str());
+    ASSERT_TRUE(doc.ok());
+    EXPECT_EQ(text.str(), JsonDump(doc.value(), /*indent=*/2));
+  }
+}
+
+}  // namespace
+}  // namespace samya::harness

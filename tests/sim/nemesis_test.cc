@@ -1,0 +1,206 @@
+#include "sim/nemesis.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "sim/cluster.h"
+
+namespace samya::sim {
+namespace {
+
+/// Minimal concrete node; the replay test only inspects network state.
+class InertNode : public Node {
+ public:
+  InertNode(NodeId id, Region region) : Node(id, region) {}
+  void HandleMessage(NodeId, uint32_t, BufferReader&) override {}
+};
+
+NemesisOptions SmallOptions(int nodes = 5) {
+  NemesisOptions opts;
+  opts.horizon = Seconds(40);
+  opts.heal_margin = Seconds(8);
+  for (int i = 0; i < nodes; ++i) opts.nodes.push_back(i);
+  return opts;
+}
+
+TEST(NemesisTest, SameSeedYieldsIdenticalSchedule) {
+  const NemesisOptions opts = SmallOptions();
+  const FaultSchedule a = GenerateSchedule(opts, 7);
+  const FaultSchedule b = GenerateSchedule(opts, 7);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.ops[i], b.ops[i]) << "op " << i;
+  }
+  // A different seed perturbs the schedule.
+  const FaultSchedule c = GenerateSchedule(opts, 8);
+  EXPECT_FALSE(a.size() == c.size() &&
+               std::equal(a.ops.begin(), a.ops.end(), c.ops.begin()));
+}
+
+TEST(NemesisTest, ScheduleIsTimeSortedWithinHorizon) {
+  const FaultSchedule s = GenerateSchedule(SmallOptions(), 3);
+  ASSERT_FALSE(s.empty());
+  for (size_t i = 1; i < s.size(); ++i) {
+    EXPECT_LE(s.ops[i - 1].at, s.ops[i].at) << "op " << i;
+  }
+  for (const FaultOp& op : s.ops) {
+    EXPECT_GE(op.at, 0);
+    EXPECT_LE(op.at, Seconds(32));  // horizon - heal_margin
+  }
+}
+
+TEST(NemesisTest, IntensityScalesOpCount) {
+  NemesisOptions opts = SmallOptions();
+  opts.intensity = 0.5;
+  const size_t low = GenerateSchedule(opts, 11).size();
+  opts.intensity = 3.0;
+  const size_t high = GenerateSchedule(opts, 11).size();
+  EXPECT_GT(high, low);
+
+  opts.intensity = 0.0;
+  const FaultSchedule off = GenerateSchedule(opts, 11);
+  // Zero intensity books no fault windows; only the terminal heal block
+  // (which is harmless against a healthy cluster) remains.
+  for (const FaultOp& op : off.ops) {
+    EXPECT_GE(op.at, Seconds(32)) << FormatFaultOp(op);
+  }
+}
+
+TEST(NemesisTest, TerminalHealBlockRestoresEverything) {
+  const NemesisOptions opts = SmallOptions();
+  const FaultSchedule s = GenerateSchedule(opts, 21);
+  const SimTime heal_at = Seconds(32);  // horizon - heal_margin
+
+  std::set<NodeId> recovered;
+  bool healed = false, cleared = false;
+  bool loss_zeroed = false, delay_reset = false, dup_zeroed = false;
+  for (const FaultOp& op : s.ops) {
+    if (op.at < heal_at) continue;
+    EXPECT_EQ(op.at, heal_at) << FormatFaultOp(op);
+    switch (op.kind) {
+      case FaultOp::Kind::kRecover:
+        recovered.insert(op.a);
+        break;
+      case FaultOp::Kind::kHeal:
+        healed = true;
+        break;
+      case FaultOp::Kind::kClearLinkFaults:
+        cleared = true;
+        break;
+      case FaultOp::Kind::kSetLossRate:
+        loss_zeroed = op.value == 0.0;
+        break;
+      case FaultOp::Kind::kSetDelayFactor:
+        delay_reset = op.value == 1.0;
+        break;
+      case FaultOp::Kind::kSetDuplicateRate:
+        dup_zeroed = op.value == 0.0;
+        break;
+      default:
+        ADD_FAILURE() << "unexpected op in heal block: " << FormatFaultOp(op);
+    }
+  }
+  EXPECT_EQ(recovered.size(), opts.nodes.size());
+  EXPECT_TRUE(healed);
+  EXPECT_TRUE(cleared);
+  EXPECT_TRUE(loss_zeroed);
+  EXPECT_TRUE(delay_reset);
+  EXPECT_TRUE(dup_zeroed);
+}
+
+TEST(NemesisTest, CrashWindowsAreDisjointPerNodeAndAlwaysRecover) {
+  NemesisOptions opts = SmallOptions();
+  opts.intensity = 3.0;
+  const FaultSchedule s = GenerateSchedule(opts, 17);
+  const SimTime heal_at = Seconds(32);
+  for (NodeId node : opts.nodes) {
+    SimTime last_end = -1;
+    bool down = false;
+    for (const FaultOp& op : s.ops) {
+      if (op.a != node || op.at >= heal_at) continue;
+      if (op.kind == FaultOp::Kind::kCrash) {
+        EXPECT_FALSE(down) << "node " << node << " crashed twice";
+        EXPECT_GT(op.at, last_end) << "node " << node << " windows overlap";
+        down = true;
+      } else if (op.kind == FaultOp::Kind::kRecover) {
+        EXPECT_TRUE(down);
+        down = false;
+        last_end = op.at;
+      }
+    }
+    EXPECT_FALSE(down) << "node " << node
+                       << " left crashed before the heal block";
+  }
+}
+
+TEST(NemesisTest, JsonRoundTripIsExact) {
+  const FaultSchedule s = GenerateSchedule(SmallOptions(), 99);
+  auto parsed = FaultSchedule::FromJson(
+      JsonParse(JsonDump(s.ToJson(), /*indent=*/2)).value());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed.value().size(), s.size());
+  for (size_t i = 0; i < s.size(); ++i) {
+    EXPECT_EQ(parsed.value().ops[i], s.ops[i]) << "op " << i;
+  }
+}
+
+TEST(NemesisTest, FromJsonRejectsGarbage) {
+  EXPECT_FALSE(FaultSchedule::FromJson(JsonValue(3)).ok());
+  auto bad_kind =
+      JsonParse(R"({"format":"samya-fault-schedule-v1",)"
+                R"("ops":[{"at":5,"kind":"no_such_fault"}]})");
+  ASSERT_TRUE(bad_kind.ok());
+  EXPECT_FALSE(FaultSchedule::FromJson(bad_kind.value()).ok());
+}
+
+TEST(NemesisTest, ApplyScheduleReplaysOpsAtExactTimes) {
+  Cluster cluster(/*seed=*/5);
+  auto* a = cluster.AddNode<InertNode>(Region::kUsWest1);
+  auto* b = cluster.AddNode<InertNode>(Region::kEuropeWest2);
+
+  FaultSchedule s;
+  s.ops.push_back({Millis(100), FaultOp::Kind::kCrash, a->id()});
+  s.ops.push_back({Millis(200), FaultOp::Kind::kSetLossRate, kInvalidNode,
+                   kInvalidNode, 0.25});
+  s.ops.push_back({Millis(300), FaultOp::Kind::kCutLink, a->id(), b->id()});
+  s.ops.push_back({Millis(400), FaultOp::Kind::kRecover, a->id()});
+  s.ops.push_back(
+      {Millis(500), FaultOp::Kind::kPartition, kInvalidNode, kInvalidNode,
+       0.0, {{a->id()}, {b->id()}}});
+  s.ops.push_back({Millis(600), FaultOp::Kind::kHeal});
+  s.ops.push_back({Millis(700), FaultOp::Kind::kClearLinkFaults});
+  ApplySchedule(s, &cluster.net());
+
+  SimEnvironment& env = cluster.env();
+  env.RunUntil(Millis(150));
+  EXPECT_FALSE(a->alive());
+  env.RunUntil(Millis(250));
+  EXPECT_DOUBLE_EQ(cluster.net().loss_rate(), 0.25);
+  env.RunUntil(Millis(350));
+  EXPECT_TRUE(cluster.net().LinkCut(a->id(), b->id()));
+  EXPECT_FALSE(cluster.net().LinkCut(b->id(), a->id()));
+  env.RunUntil(Millis(450));
+  EXPECT_TRUE(a->alive());
+  env.RunUntil(Millis(550));
+  EXPECT_FALSE(cluster.net().CanCommunicate(a->id(), b->id()));
+  env.RunUntil(Millis(650));
+  EXPECT_TRUE(cluster.net().CanCommunicate(a->id(), b->id()));
+  EXPECT_TRUE(cluster.net().LinkCut(a->id(), b->id()));  // cut outlives heal
+  env.RunUntil(Millis(750));
+  EXPECT_FALSE(cluster.net().LinkCut(a->id(), b->id()));
+}
+
+TEST(NemesisTest, FormatFaultOpIsReadable) {
+  FaultOp op;
+  op.at = Millis(12500);
+  op.kind = FaultOp::Kind::kCrash;
+  op.a = 3;
+  const std::string line = FormatFaultOp(op);
+  EXPECT_NE(line.find("crash"), std::string::npos) << line;
+  EXPECT_NE(line.find('3'), std::string::npos) << line;
+}
+
+}  // namespace
+}  // namespace samya::sim

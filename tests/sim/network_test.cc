@@ -231,32 +231,198 @@ TEST_F(NetworkTest, DeterministicAcrossRuns) {
 TEST_F(NetworkTest, MessageTapObservesSendsAndDrops) {
   struct Tapped {
     uint32_t type;
-    bool delivered;
+    TapEvent event;
   };
   std::vector<Tapped> taps;
   cluster_.net().set_message_tap(
       [&](SimTime, sim::NodeId, sim::NodeId, uint32_t type, size_t bytes,
-          bool delivered) {
+          TapEvent ev) {
         EXPECT_GT(bytes, 0u);
-        taps.push_back({type, delivered});
+        taps.push_back({type, ev});
       });
   a_->SendPing(b_->id(), "one");
   cluster_.env().RunUntilIdle();
-  ASSERT_EQ(taps.size(), 2u);  // ping + pong
+  // Each delivered message taps twice: kSent then kDelivered. Ping + pong.
+  ASSERT_EQ(taps.size(), 4u);
   EXPECT_EQ(taps[0].type, kPing);
-  EXPECT_TRUE(taps[0].delivered);
+  EXPECT_EQ(taps[0].event, TapEvent::kSent);
+  EXPECT_EQ(taps[1].event, TapEvent::kDelivered);
+  EXPECT_EQ(taps[2].type, kPong);
 
   cluster_.net().set_loss_rate(1.0);
   a_->SendPing(b_->id(), "two");
   cluster_.env().RunUntilIdle();
-  ASSERT_EQ(taps.size(), 3u);
-  EXPECT_FALSE(taps[2].delivered);
+  ASSERT_EQ(taps.size(), 5u);  // a send-time drop taps exactly once
+  EXPECT_EQ(taps[4].event, TapEvent::kDroppedAtSend);
 
   cluster_.net().set_message_tap(nullptr);
   cluster_.net().set_loss_rate(0.0);
   a_->SendPing(b_->id(), "three");
   cluster_.env().RunUntilIdle();
-  EXPECT_EQ(taps.size(), 3u);  // tap removed
+  EXPECT_EQ(taps.size(), 5u);  // tap removed
+}
+
+TEST_F(NetworkTest, MessageTapReportsDeliveryTimeDrops) {
+  std::vector<TapEvent> events;
+  cluster_.net().set_message_tap(
+      [&](SimTime, sim::NodeId, sim::NodeId, uint32_t, size_t, TapEvent ev) {
+        events.push_back(ev);
+      });
+  a_->SendPing(b_->id(), "doomed");
+  // Crash b before the ~65ms delivery: the drop happens at delivery time and
+  // must be reported, not silently swallowed.
+  cluster_.env().Schedule(Millis(10), [&] { cluster_.net().Crash(b_->id()); });
+  cluster_.env().RunUntilIdle();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0], TapEvent::kSent);
+  EXPECT_EQ(events[1], TapEvent::kDroppedAtDelivery);
+  EXPECT_EQ(cluster_.net().stats().messages_dropped_crashed, 1u);
+}
+
+TEST_F(NetworkTest, OneWayLinkCutIsAsymmetric) {
+  cluster_.net().CutLink(a_->id(), b_->id());
+  EXPECT_TRUE(cluster_.net().LinkCut(a_->id(), b_->id()));
+  EXPECT_FALSE(cluster_.net().LinkCut(b_->id(), a_->id()));
+
+  a_->SendPing(b_->id(), "blocked");
+  b_->SendPing(a_->id(), "open");
+  cluster_.env().RunUntilIdle();
+  // a->b cut at send time; b->a delivered, but a's pong back rides the cut
+  // a->b direction and is dropped too.
+  EXPECT_TRUE(b_->received.empty());
+  ASSERT_EQ(a_->received.size(), 1u);
+  EXPECT_EQ(a_->received[0].type, kPing);
+  EXPECT_EQ(cluster_.net().stats().messages_dropped_link, 2u);
+
+  cluster_.net().RestoreLink(a_->id(), b_->id());
+  a_->SendPing(b_->id(), "restored");
+  cluster_.env().RunUntilIdle();
+  ASSERT_EQ(b_->received.size(), 1u);
+  EXPECT_EQ(b_->received[0].body, "restored");
+}
+
+TEST_F(NetworkTest, LinkCutFormedMidFlightDropsAtDelivery) {
+  a_->SendPing(b_->id(), "doomed");
+  cluster_.env().Schedule(
+      Millis(10), [&] { cluster_.net().CutLink(a_->id(), b_->id()); });
+  cluster_.env().RunUntilIdle();
+  EXPECT_TRUE(b_->received.empty());
+  EXPECT_EQ(cluster_.net().stats().messages_dropped_link, 1u);
+}
+
+TEST_F(NetworkTest, GlobalDelayFactorStretchesLatency) {
+  cluster_.net().set_delay_factor(10.0);
+  a_->SendPing(b_->id(), "slow");
+  cluster_.env().RunUntilIdle();
+  ASSERT_EQ(b_->received.size(), 1u);
+  // us-west1 -> europe-west2 base is 65ms; 10x puts it at >= 650ms.
+  EXPECT_GE(b_->received[0].at, Millis(650));
+}
+
+TEST_F(NetworkTest, PerLinkDelayFactorIsDirectional) {
+  cluster_.net().SetLinkDelayFactor(a_->id(), b_->id(), 10.0);
+  a_->SendPing(b_->id(), "slow");
+  cluster_.env().RunUntilIdle();
+  ASSERT_EQ(b_->received.size(), 1u);
+  ASSERT_EQ(a_->received.size(), 1u);
+  EXPECT_GE(b_->received[0].at, Millis(650));  // a->b stretched 10x
+  // The pong b->a is not stretched: it arrives well under 10x after the ping.
+  EXPECT_LE(a_->received[0].at - b_->received[0].at, Millis(90));
+
+  // Factor 1.0 removes the override.
+  cluster_.net().SetLinkDelayFactor(a_->id(), b_->id(), 1.0);
+  const SimTime t0 = cluster_.env().Now();
+  a_->SendPing(b_->id(), "fast");
+  cluster_.env().RunUntilIdle();
+  ASSERT_EQ(b_->received.size(), 2u);
+  EXPECT_LE(b_->received[1].at - t0, Millis(90));
+}
+
+TEST_F(NetworkTest, DuplicateDeliveryCountsAndDelivers) {
+  cluster_.net().set_duplicate_rate(1.0);
+  a_->SendPing(b_->id(), "twice");
+  cluster_.env().RunUntilIdle();
+  // Ping duplicated -> b receives 2 pings, sends 2 pongs, each duplicated
+  // -> a receives 4 pongs.
+  EXPECT_EQ(b_->received.size(), 2u);
+  EXPECT_EQ(a_->received.size(), 4u);
+  EXPECT_EQ(cluster_.net().stats().messages_duplicated, 3u);  // 1 ping + 2 pongs
+  EXPECT_EQ(cluster_.net().stats().messages_sent, 3u);        // dups not counted
+  EXPECT_EQ(cluster_.net().stats().messages_delivered, 6u);
+  for (const auto& m : b_->received) EXPECT_EQ(m.body, "twice");
+}
+
+TEST_F(NetworkTest, ClearLinkFaultsRemovesCutsAndDelays) {
+  cluster_.net().CutLink(a_->id(), b_->id());
+  cluster_.net().SetLinkDelayFactor(b_->id(), a_->id(), 50.0);
+  cluster_.net().ClearLinkFaults();
+  EXPECT_FALSE(cluster_.net().LinkCut(a_->id(), b_->id()));
+  a_->SendPing(b_->id(), "ok");
+  cluster_.env().RunUntilIdle();
+  ASSERT_EQ(b_->received.size(), 1u);
+  ASSERT_EQ(a_->received.size(), 1u);
+  EXPECT_LE(a_->received[0].at, Millis(200));  // pong not stretched 50x
+}
+
+TEST_F(NetworkTest, DropStatAccountingIsExclusive) {
+  // Partition drop, link drop, loss drop, and crashed-receiver drop each
+  // land in exactly one counter.
+  cluster_.net().SetPartition({{a_->id()}, {b_->id(), c_->id()}});
+  a_->SendPing(b_->id(), "p");  // partition, at send
+  cluster_.net().ClearPartition();
+
+  cluster_.net().CutLink(a_->id(), b_->id());
+  a_->SendPing(b_->id(), "l");  // link cut, at send
+  cluster_.net().ClearLinkFaults();
+
+  cluster_.net().set_loss_rate(1.0);
+  a_->SendPing(b_->id(), "x");  // loss
+  cluster_.net().set_loss_rate(0.0);
+
+  cluster_.net().Crash(b_->id());
+  a_->SendPing(b_->id(), "c");  // crashed receiver, at delivery
+  cluster_.env().RunUntilIdle();
+
+  const NetworkStats& s = cluster_.net().stats();
+  EXPECT_EQ(s.messages_sent, 4u);
+  EXPECT_EQ(s.messages_dropped_partition, 1u);
+  EXPECT_EQ(s.messages_dropped_link, 1u);
+  EXPECT_EQ(s.messages_dropped_loss, 1u);
+  EXPECT_EQ(s.messages_dropped_crashed, 1u);
+  EXPECT_EQ(s.messages_delivered, 0u);
+}
+
+TEST_F(NetworkTest, ImplicitFinalGroupCountsPartitionDrops) {
+  // Only a is listed; b and c share the implicit final group.
+  cluster_.net().SetPartition({{a_->id()}});
+  EXPECT_TRUE(cluster_.net().CanCommunicate(b_->id(), c_->id()));
+  EXPECT_FALSE(cluster_.net().CanCommunicate(a_->id(), b_->id()));
+  EXPECT_FALSE(cluster_.net().CanCommunicate(a_->id(), c_->id()));
+  a_->SendPing(b_->id(), "cut");
+  a_->SendPing(c_->id(), "cut");
+  b_->SendPing(c_->id(), "peers");
+  cluster_.env().RunUntilIdle();
+  EXPECT_EQ(cluster_.net().stats().messages_dropped_partition, 2u);
+  ASSERT_EQ(c_->received.size(), 1u);
+}
+
+TEST_F(NetworkTest, RandomChurnWindowsAreDisjointPerNode) {
+  FaultInjector faults(&cluster_.net());
+  Rng rng(7);
+  // Aggressive parameters that overlapped under the old implementation:
+  // downtime comparable to horizon / crashes_per_node.
+  faults.RandomChurn({a_->id(), b_->id()}, Seconds(10), /*crashes_per_node=*/8,
+                     /*downtime=*/Millis(1200), rng);
+  cluster_.env().RunUntilIdle();
+  // Every crash must find the node alive and every recover must find it
+  // crashed (Network::Crash/Recover are idempotent no-ops otherwise, which
+  // would make the counts diverge from the schedule).
+  EXPECT_EQ(a_->crashes, 8);
+  EXPECT_EQ(a_->recoveries, 8);
+  EXPECT_EQ(b_->crashes, 8);
+  EXPECT_EQ(b_->recoveries, 8);
+  EXPECT_TRUE(a_->alive());
+  EXPECT_TRUE(b_->alive());
 }
 
 TEST_F(NetworkTest, StatsCountBytes) {
