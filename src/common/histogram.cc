@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <limits>
 
+#include "common/json.h"
 #include "common/macros.h"
 
 namespace samya {
@@ -118,6 +119,31 @@ std::string Histogram::ToString() const {
                 P50() / 1000.0, P90() / 1000.0, P95() / 1000.0, P99() / 1000.0,
                 static_cast<double>(max_) / 1000.0);
   return buf;
+}
+
+JsonValue Histogram::ToJson() const {
+  JsonValue out = JsonValue::MakeObject();
+  out.Set("count", static_cast<int64_t>(count_));
+  out.Set("mean", mean());
+  out.Set("min", min());
+  out.Set("max", max_);
+  out.Set("p50", P50());
+  out.Set("p90", P90());
+  out.Set("p99", P99());
+  JsonValue cdf = JsonValue::MakeArray();
+  uint64_t cum = 0;
+  for (size_t b = 0; b < buckets_.size(); ++b) {
+    if (buckets_[b] == 0) continue;
+    cum += buckets_[b];
+    JsonValue row = JsonValue::MakeObject();
+    // Clamp the top bucket's bound to the observed max so the CDF stays
+    // finite and plottable.
+    row.Set("le", std::min(BucketUpper(b), max_));
+    row.Set("count", static_cast<int64_t>(cum));
+    cdf.Append(std::move(row));
+  }
+  out.Set("cdf", std::move(cdf));
+  return out;
 }
 
 }  // namespace samya

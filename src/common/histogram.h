@@ -7,6 +7,8 @@
 
 namespace samya {
 
+class JsonValue;
+
 /// \brief Log-bucketed latency histogram with percentile queries.
 ///
 /// Values (microseconds in practice) are recorded into exponentially-spaced
@@ -37,6 +39,11 @@ class Histogram {
 
   /// One-line summary, latencies rendered in milliseconds.
   std::string ToString() const;
+
+  /// Snapshot for the metrics export: count/mean/min/max/p50/p90/p99 plus a
+  /// bucket CDF — an array of {"le": upper_bound, "count": cumulative} rows,
+  /// one per non-empty bucket (empty histograms export an empty CDF).
+  JsonValue ToJson() const;
 
  private:
   static size_t BucketFor(int64_t value);

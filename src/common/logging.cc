@@ -1,12 +1,22 @@
 #include "common/logging.h"
 
 #include <cstdio>
+#include <mutex>
 
 namespace samya {
 
 LogLevel Logger::level_ = LogLevel::kWarn;
 
 namespace {
+
+std::mutex& SinkMutex() {
+  static std::mutex& m = *new std::mutex;
+  return m;
+}
+
+thread_local std::string t_prefix;
+thread_local const int64_t* t_sim_now_us = nullptr;
+
 const char* LevelName(LogLevel level) {
   switch (level) {
     case LogLevel::kDebug:
@@ -22,16 +32,50 @@ const char* LevelName(LogLevel level) {
   }
   return "?";
 }
+
 }  // namespace
+
+void Logger::SetThreadPrefix(std::string prefix) {
+  t_prefix = std::move(prefix);
+}
+
+void Logger::SetThreadSimClock(const int64_t* now_us) {
+  t_sim_now_us = now_us;
+}
 
 void Logger::Log(LogLevel level, const char* fmt, ...) {
   if (level < level_) return;
-  std::fprintf(stderr, "[%s] ", LevelName(level));
+
+  // Format the whole line locally, then emit it under the sink mutex as one
+  // fprintf so concurrent threads never interleave mid-line.
+  char head[96];
+  int head_len;
+  if (t_sim_now_us != nullptr) {
+    head_len = std::snprintf(head, sizeof(head), "[%s] [t=%.3fms] ",
+                             LevelName(level),
+                             static_cast<double>(*t_sim_now_us) / 1000.0);
+  } else {
+    head_len = std::snprintf(head, sizeof(head), "[%s] ", LevelName(level));
+  }
+  if (head_len < 0) head_len = 0;
+
+  char body[1024];
   va_list ap;
   va_start(ap, fmt);
-  std::vfprintf(stderr, fmt, ap);
+  int body_len = std::vsnprintf(body, sizeof(body), fmt, ap);
   va_end(ap);
-  std::fprintf(stderr, "\n");
+  if (body_len < 0) body_len = 0;
+  if (static_cast<size_t>(body_len) >= sizeof(body)) {
+    body_len = sizeof(body) - 1;  // truncated; still a valid line
+  }
+
+  std::lock_guard<std::mutex> lock(SinkMutex());
+  if (!t_prefix.empty()) {
+    std::fprintf(stderr, "%.*s[%s] %.*s\n", head_len, head, t_prefix.c_str(),
+                 body_len, body);
+  } else {
+    std::fprintf(stderr, "%.*s%.*s\n", head_len, head, body_len, body);
+  }
 }
 
 }  // namespace samya

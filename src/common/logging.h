@@ -2,6 +2,7 @@
 #define SAMYA_COMMON_LOGGING_H_
 
 #include <cstdarg>
+#include <cstdint>
 #include <string>
 
 namespace samya {
@@ -11,12 +12,28 @@ enum class LogLevel { kDebug = 0, kInfo, kWarn, kError, kOff };
 /// \brief Minimal leveled logger.
 ///
 /// Global level defaults to kWarn so experiment binaries stay quiet; tests and
-/// examples raise it where useful. Not thread-safe by design — the whole
-/// system runs on a single-threaded deterministic event loop.
+/// examples raise it where useful.
+///
+/// Thread-safe: each line is formatted into a local buffer and emitted with a
+/// single mutex-guarded write, so `parallel_runner` workers never interleave
+/// mid-line. Two optional thread-local decorations give concurrent runs
+/// readable output:
+///  - `SetThreadPrefix("run 12")` tags every line from the calling thread;
+///  - `SetThreadSimClock(&env.now_ref())` stamps lines with the owning
+///    simulation's current sim-time (the pointer must outlive the run; pass
+///    nullptr to detach).
 class Logger {
  public:
   static LogLevel level() { return level_; }
   static void set_level(LogLevel level) { level_ = level; }
+
+  /// Per-thread line prefix (e.g. the parallel runner's run index). Empty
+  /// string clears it. Copied; the argument need not outlive the call.
+  static void SetThreadPrefix(std::string prefix);
+
+  /// Per-thread sim-clock: lines are stamped with `*now_us` microseconds at
+  /// log time. Pass nullptr to detach (e.g. when a run finishes).
+  static void SetThreadSimClock(const int64_t* now_us);
 
   static void Log(LogLevel level, const char* fmt, ...)
       __attribute__((format(printf, 2, 3)));

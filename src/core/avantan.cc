@@ -38,6 +38,24 @@ void Site::StartMajorityElection(InstanceId instance, bool recovery) {
   role_ = Role::kLeader;
   leader_phase_ = LeaderPhase::kElection;
   recovery_mode_ = recovery;
+  if (tracer_ != nullptr) {
+    // Fresh leadership opens the round span under the ambient context (the
+    // triggering acquire request, or nothing for proactive/epoch triggers).
+    // Recovery re-elections keep the existing round span and just open a
+    // new phase under it. Opened before Engage so Engage sees it.
+    tracer_->EndSpan(Now(), phase_span_);
+    if (!instance_span_.valid()) {
+      instance_span_ =
+          tracer_->BeginSpan(Now(), id(), "avantan.majority.instance",
+                             "round", tracer_->current());
+      tracer_->SetSpanArg(instance_span_, 0, "instance", instance);
+    }
+    phase_span_ =
+        tracer_->BeginSpan(Now(), id(),
+                           recovery ? "election.recovery" : "election",
+                           "phase", instance_span_);
+  }
+  phase_started_ = Now();
   Engage(instance);
   ballot_ = Ballot{ballot_.num + 1, id()};
   election_responses_.clear();
@@ -57,6 +75,10 @@ void Site::StartMajorityElection(InstanceId instance, bool recovery) {
   SAMYA_LOG_DEBUG("site %d leads instance %lld at ballot %s", id(),
                   static_cast<long long>(instance),
                   ballot_.ToString().c_str());
+  // The phase context rides the broadcast (and the timeout timer), so
+  // cohort engage spans and the retry path parent under this election.
+  obs::Tracer::ContextGuard guard(phase_span_.valid() ? tracer_ : nullptr,
+                                  phase_span_);
   BufferWriter w;
   ElectionGetValue{instance, ballot_, recovery}.EncodeTo(w);
   BroadcastToOthers(kMsgElectionGetValue, w, opts_.sites);
@@ -217,6 +239,13 @@ void Site::MajorityChooseAndAccept() {
   SAMYA_CHECK(engaged_.has_value());
   const InstanceId instance = *engaged_;
   CancelTimer(leader_timer_);
+  if (hist_election_us_ != nullptr) {
+    hist_election_us_->Record(Now() - phase_started_);
+  }
+  if (tracer_ != nullptr) {
+    tracer_->EndSpan(Now(), phase_span_);
+    phase_span_ = obs::TraceContext{};
+  }
 
   // Value choice (lines 15-23) including the failure-recovery rules.
   bool chosen_decision = false;
@@ -252,6 +281,8 @@ void Site::MajorityChooseAndAccept() {
 
   if (chosen_decision) {
     // Someone already learned the decision: just distribute it.
+    obs::Tracer::ContextGuard guard(
+        instance_span_.valid() ? tracer_ : nullptr, instance_span_);
     BufferWriter w;
     DecisionMsg{instance, ballot_, chosen}.EncodeTo(w);
     BroadcastToOthers(kMsgDecision, w, opts_.sites);
@@ -266,6 +297,13 @@ void Site::MajorityChooseAndAccept() {
   leader_phase_ = LeaderPhase::kAccept;
   accept_ok_from_ = {id()};
 
+  if (tracer_ != nullptr) {
+    phase_span_ =
+        tracer_->BeginSpan(Now(), id(), "accept", "phase", instance_span_);
+  }
+  phase_started_ = Now();
+  obs::Tracer::ContextGuard guard(phase_span_.valid() ? tracer_ : nullptr,
+                                  phase_span_);
   BufferWriter w;
   AcceptValue{instance, ballot_, accept_val_, false}.EncodeTo(w);
   BroadcastToOthers(kMsgAcceptValue, w, opts_.sites);
@@ -343,8 +381,17 @@ void Site::OnAcceptOk(sim::NodeId from, const AcceptOk& m) {
   // Decision (lines 33-35).
   decision_ = true;
   CancelTimer(leader_timer_);
+  if (hist_accept_us_ != nullptr) {
+    hist_accept_us_->Record(Now() - phase_started_);
+  }
+  if (tracer_ != nullptr) {
+    tracer_->EndSpan(Now(), phase_span_);
+    phase_span_ = obs::TraceContext{};
+  }
   const InstanceId instance = *engaged_;
   const StateList value = accept_val_;
+  obs::Tracer::ContextGuard guard(instance_span_.valid() ? tracer_ : nullptr,
+                                  instance_span_);
   BufferWriter w;
   DecisionMsg{instance, ballot_, value}.EncodeTo(w);
   if (IsAnyMode()) {
@@ -376,6 +423,15 @@ void Site::StartAnyElection() {
   CancelTimer(watchdog_timer_);
   role_ = Role::kLeader;
   leader_phase_ = LeaderPhase::kElection;
+  if (tracer_ != nullptr) {
+    tracer_->EndSpan(Now(), phase_span_);
+    instance_span_ = tracer_->BeginSpan(Now(), id(), "avantan.any.instance",
+                                        "round", tracer_->current());
+    tracer_->SetSpanArg(instance_span_, 0, "instance", instance);
+    phase_span_ =
+        tracer_->BeginSpan(Now(), id(), "election", "phase", instance_span_);
+  }
+  phase_started_ = Now();
   Engage(instance);
   ballot_ = Ballot{ballot_.num + 1, id()};
   election_responses_.clear();
@@ -390,6 +446,8 @@ void Site::StartAnyElection() {
   election_responses_[id()] = self;
   Persist();
 
+  obs::Tracer::ContextGuard guard(phase_span_.valid() ? tracer_ : nullptr,
+                                  phase_span_);
   BufferWriter w;
   ElectionGetValue{instance, ballot_}.EncodeTo(w);
   BroadcastToOthers(kMsgElectionGetValue, w, opts_.sites);
@@ -405,6 +463,17 @@ void Site::AnyProceedToAccept() {
   const InstanceId instance = *engaged_;
   CancelTimer(leader_timer_);
   leader_phase_ = LeaderPhase::kAccept;
+  if (hist_election_us_ != nullptr) {
+    hist_election_us_->Record(Now() - phase_started_);
+  }
+  if (tracer_ != nullptr) {
+    tracer_->EndSpan(Now(), phase_span_);
+    phase_span_ =
+        tracer_->BeginSpan(Now(), id(), "accept", "phase", instance_span_);
+  }
+  phase_started_ = Now();
+  obs::Tracer::ContextGuard guard(phase_span_.valid() ? tracer_ : nullptr,
+                                  phase_span_);
 
   // R_t = exactly the sites whose InitVals we collected (change i).
   accept_val_ = StateList{};
@@ -446,6 +515,9 @@ void Site::StartAnyRecovery() {
     ApplyDecision(*engaged_, accept_val_);
     return;
   }
+  // Recovery retransmits/probes attribute to the round span.
+  obs::Tracer::ContextGuard guard(instance_span_.valid() ? tracer_ : nullptr,
+                                  instance_span_);
   // Retransmit Accept-Value a few times first (cheap), then probe R_t.
   if (role_ == Role::kLeader && any_retransmits_ < kMaxAcceptRetransmits) {
     ++any_retransmits_;
@@ -543,6 +615,8 @@ void Site::ConcludeAnyRecovery() {
   const InstanceId instance = *engaged_;
   const StateList value = accept_val_;
   decision_ = true;
+  obs::Tracer::ContextGuard guard(instance_span_.valid() ? tracer_ : nullptr,
+                                  instance_span_);
   BufferWriter w;
   DecisionMsg{instance, ballot_, value}.EncodeTo(w);
   BroadcastToOthers(kMsgDecision, w, participants);
@@ -637,6 +711,15 @@ void Site::FinishInstanceLocally(InstanceId instance, const StateList& value) {
 
   const bool was_engaged = engaged_.has_value() && *engaged_ == instance;
   if (was_engaged) {
+    if (hist_instance_us_ != nullptr) {
+      hist_instance_us_->Record(Now() - freeze_started_);
+    }
+    if (tracer_ != nullptr) {
+      tracer_->EndSpan(Now(), phase_span_);
+      tracer_->EndSpan(Now(), instance_span_);
+      phase_span_ = obs::TraceContext{};
+      instance_span_ = obs::TraceContext{};
+    }
     AccountUnfreeze();
     engaged_.reset();
     ResetInstanceState();
@@ -671,6 +754,13 @@ void Site::FinishInstanceLocally(InstanceId instance, const StateList& value) {
 void Site::AbortInstance(InstanceId instance) {
   if (!engaged_.has_value() || *engaged_ != instance) return;
   ++stats_.instances_aborted;
+  if (tracer_ != nullptr) {
+    tracer_->Instant(Now(), id(), "abort", "round", instance_span_);
+    tracer_->EndSpan(Now(), phase_span_);
+    tracer_->EndSpan(Now(), instance_span_);
+    phase_span_ = obs::TraceContext{};
+    instance_span_ = obs::TraceContext{};
+  }
   AccountUnfreeze();
   engaged_.reset();
   ResetInstanceState();

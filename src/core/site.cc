@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "common/macros.h"
+#include "sim/network.h"
 
 namespace samya::core {
 
@@ -40,6 +41,18 @@ Site::Site(sim::NodeId id, sim::Region region, SiteOptions opts)
 Site::~Site() = default;
 
 void Site::Start() {
+  tracer_ = network()->tracer();
+  if (obs::MetricsRegistry* mr = network()->metrics()) {
+    obs::MetricLabels labels;
+    labels.site = id();
+    labels.protocol = ProtocolName();
+    labels.round = "election";
+    hist_election_us_ = mr->GetHistogram("avantan.round_us", labels);
+    labels.round = "accept";
+    hist_accept_us_ = mr->GetHistogram("avantan.round_us", labels);
+    labels.round = "";
+    hist_instance_us_ = mr->GetHistogram("avantan.instance_us", labels);
+  }
   tokens_left_ = opts_.initial_tokens;
   LoadDurable();
   predictor_ = opts_.predictor_factory();
@@ -52,6 +65,15 @@ void Site::Start() {
 }
 
 void Site::HandleCrash() {
+  if (tracer_ != nullptr) {
+    // Spans die with the volatile state that owned them.
+    for (const auto& [rid, ctx] : request_spans_) tracer_->EndSpan(Now(), ctx);
+    tracer_->EndSpan(Now(), phase_span_);
+    tracer_->EndSpan(Now(), instance_span_);
+  }
+  request_spans_.clear();
+  phase_span_ = obs::TraceContext{};
+  instance_span_ = obs::TraceContext{};
   queue_.clear();
   queued_ids_.clear();
   committed_writes_.clear();
@@ -283,6 +305,24 @@ void Site::OnClientRequest(sim::NodeId from, BufferReader& r) {
     // copy will answer when it drains.
     if (queued_ids_.count(req->request_id) > 0) return;
   }
+  // Open the request span once the request is known to be fresh; it stays
+  // open across freezes (queued requests) and ends in Respond. The guard
+  // makes the request the ambient parent for everything this arrival
+  // triggers — including a reactive Avantan round.
+  obs::TraceContext req_ctx;
+  if (tracer_ != nullptr) {
+    const char* name = req->op == TokenOp::kAcquire    ? "acquire"
+                       : req->op == TokenOp::kRelease ? "release"
+                                                       : "read";
+    req_ctx = tracer_->BeginSpan(Now(), id(), name, "request",
+                                 tracer_->current());
+    tracer_->SetSpanArg(req_ctx, 0, "amount", req->amount);
+    tracer_->SetSpanArg(req_ctx, 1, "request_id",
+                        static_cast<int64_t>(req->request_id));
+    request_spans_[req->request_id] = req_ctx;
+  }
+  obs::Tracer::ContextGuard guard(req_ctx.valid() ? tracer_ : nullptr,
+                                  req_ctx);
   if (req->op == TokenOp::kAcquire) {
     demand_this_epoch_ += static_cast<double>(req->amount);
   }
@@ -352,6 +392,19 @@ void Site::Respond(sim::NodeId client, uint64_t request_id, TokenStatus status,
   resp.value = value;
   send_scratch_.Clear();
   resp.EncodeTo(send_scratch_);
+  if (!request_spans_.empty()) {
+    auto it = request_spans_.find(request_id);
+    if (it != request_spans_.end()) {
+      // Send under the request's own context (so the response message joins
+      // its trace), then close the span.
+      const obs::TraceContext ctx = it->second;
+      request_spans_.erase(it);
+      obs::Tracer::ContextGuard guard(tracer_, ctx);
+      Send(client, kMsgTokenResponse, send_scratch_);
+      tracer_->EndSpan(Now(), ctx);
+      return;
+    }
+  }
   Send(client, kMsgTokenResponse, send_scratch_);
 }
 
@@ -363,6 +416,14 @@ void Site::DrainQueue() {
     QueuedRequest q = std::move(queue_.front());
     queue_.pop_front();
     queued_ids_.erase(q.request.request_id);
+    // Re-install the request's span (opened at arrival) as ambient context,
+    // so its service after the freeze still attributes to its trace.
+    obs::TraceContext ctx;
+    if (!request_spans_.empty()) {
+      auto it = request_spans_.find(q.request.request_id);
+      if (it != request_spans_.end()) ctx = it->second;
+    }
+    obs::Tracer::ContextGuard guard(ctx.valid() ? tracer_ : nullptr, ctx);
     if (!ServeLocally(q.client, q.request)) {
       ++stats_.rejected;
       Respond(q.client, q.request.request_id, TokenStatus::kRejected,
@@ -511,6 +572,15 @@ const int64_t* Site::LookupWrite(uint64_t request_id) const {
 void Site::Engage(InstanceId instance) {
   if (!engaged_.has_value()) freeze_started_ = Now();
   engaged_ = instance;
+  // A leader opens its own instance span before engaging; everyone else
+  // (cohorts engaging on an incoming protocol message) gets an engage span
+  // parented under the ambient context — the leader's phase span, carried
+  // across the network hop — so the whole round hangs off one trace.
+  if (tracer_ != nullptr && !instance_span_.valid()) {
+    instance_span_ = tracer_->BeginSpan(Now(), id(), "avantan.engage",
+                                        "round", tracer_->current());
+    tracer_->SetSpanArg(instance_span_, 0, "instance", instance);
+  }
 }
 
 void Site::AccountUnfreeze() {

@@ -11,10 +11,12 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/histogram.h"
 #include "common/token_api.h"
 #include "core/messages.h"
 #include "core/reallocator.h"
 #include "core/types.h"
+#include "obs/trace.h"
 #include "predict/predictor.h"
 #include "sim/node.h"
 #include "storage/stable_storage.h"
@@ -298,6 +300,26 @@ class Site : public sim::Node {
   uint64_t watchdog_timer_ = 0;
 
   SiteStats stats_;
+
+  // --- Observability (DESIGN.md §8) ----------------------------------------
+  // All pointers cached from the network at Start; null when disabled, which
+  // reduces every instrumentation site to one predictable branch.
+  const char* ProtocolName() const {
+    return IsAnyMode() ? "any" : "majority";
+  }
+  obs::Tracer* tracer_ = nullptr;
+  /// Open request spans by request id: begun at arrival, ended in Respond.
+  /// Requests queued behind a freeze keep their span open across the drain.
+  std::unordered_map<uint64_t, obs::TraceContext> request_spans_;
+  /// Round span for the instance this site is engaged in (any role): the
+  /// leader's "avantan.<variant>.instance" or a cohort's "avantan.engage".
+  obs::TraceContext instance_span_;
+  /// Leader's current phase sub-span (election / accept / recovery).
+  obs::TraceContext phase_span_;
+  SimTime phase_started_ = 0;
+  Histogram* hist_election_us_ = nullptr;  ///< leader election-phase duration
+  Histogram* hist_accept_us_ = nullptr;    ///< leader accept-phase duration
+  Histogram* hist_instance_us_ = nullptr;  ///< engage -> finish, engaged sites
 };
 
 }  // namespace samya::core

@@ -1,10 +1,12 @@
 #include "harness/experiment.h"
 
 #include <algorithm>
+#include <cstdio>
 
 #include "baselines/demarcation.h"
 #include "baselines/site_escrow.h"
 #include "baselines/replicated.h"
+#include "common/logging.h"
 #include "common/macros.h"
 #include "core/app_manager.h"
 #include "workload/transform.h"
@@ -97,6 +99,15 @@ void Experiment::Setup() {
   cluster_ = std::make_unique<sim::Cluster>(opts_.seed);
   faults_ = std::make_unique<sim::FaultInjector>(&cluster_->net());
 
+  if (opts_.obs.any()) {
+    // Attach before any node starts: sites cache the tracer/metrics
+    // pointers in Start(), so late attachment would instrument nothing.
+    obs_ = std::make_shared<obs::Observability>(opts_.obs);
+    cluster_->net().set_observability(obs_->tracer(), obs_->metrics(),
+                                      obs_->profiler());
+    cluster_->env().set_profiler(obs_->profiler());
+  }
+
   if (opts_.system == SystemKind::kDemarcation ||
       opts_.system == SystemKind::kSiteEscrow) {
     SetupDemarcation();
@@ -112,6 +123,37 @@ void Experiment::Setup() {
   if (opts_.audit.enabled) {
     auditor_ = std::make_unique<InvariantAuditor>(this, opts_.audit);
     auditor_->Install();
+  }
+  FinishObsSetup();
+}
+
+void Experiment::FinishObsSetup() {
+  if (obs_ == nullptr) return;
+  obs::Tracer* tracer = obs_->tracer();
+  if (tracer == nullptr) return;
+  // Every node becomes a "process" row in the Perfetto export; give each a
+  // readable name. Servers and clients are known by id; everything between
+  // is an app manager.
+  std::vector<bool> named(cluster_->num_nodes(), false);
+  char buf[64];
+  for (sim::NodeId id : server_ids_) {
+    std::snprintf(buf, sizeof(buf), "site %d (%s)", id,
+                  sim::RegionName(cluster_->node(id)->region()));
+    tracer->SetProcessName(id, buf);
+    named[static_cast<size_t>(id)] = true;
+  }
+  for (sim::NodeId id : client_ids_) {
+    std::snprintf(buf, sizeof(buf), "client %d (%s)", id,
+                  sim::RegionName(cluster_->node(id)->region()));
+    tracer->SetProcessName(id, buf);
+    named[static_cast<size_t>(id)] = true;
+  }
+  for (size_t i = 0; i < named.size(); ++i) {
+    if (named[i]) continue;
+    const auto id = static_cast<sim::NodeId>(i);
+    std::snprintf(buf, sizeof(buf), "app manager %d (%s)", id,
+                  sim::RegionName(cluster_->node(id)->region()));
+    tracer->SetProcessName(id, buf);
   }
 }
 
@@ -260,6 +302,9 @@ void Experiment::AddClients(
 
 ExperimentResult Experiment::Run() {
   SAMYA_CHECK(setup_done_);
+  // Stamp this thread's log lines with this simulation's clock for the
+  // duration of the run (parallel sweeps run one simulation per thread).
+  Logger::SetThreadSimClock(cluster_->env().now_ptr());
   cluster_->StartAll();
   cluster_->env().RunUntil(opts_.duration + Seconds(10));
 
@@ -295,7 +340,111 @@ ExperimentResult Experiment::Run() {
     result.violations = auditor_->violations();
     result.audit_ticks = auditor_->ticks();
   }
+  if (obs_ != nullptr) {
+    SnapshotMetrics();
+    if (obs::Tracer* tracer = obs_->tracer()) {
+      tracer->CloseOpenSpans(cluster_->env().Now());
+    }
+    result.obs = obs_;
+  }
+  Logger::SetThreadSimClock(nullptr);
   return result;
+}
+
+void Experiment::SnapshotMetrics() {
+  obs::MetricsRegistry* mr = obs_->metrics();
+  if (mr == nullptr) return;
+  const char* protocol = "";
+  if (IsSamyaVariant(opts_.system)) {
+    protocol = (opts_.system == SystemKind::kSamyaAny ||
+                opts_.system == SystemKind::kSamyaAnyNoPredict)
+                   ? "any"
+                   : "majority";
+  }
+
+  for (auto* site : sites_) {
+    const core::SiteStats& s = site->stats();
+    obs::MetricLabels l;
+    l.site = site->id();
+    l.protocol = protocol;
+    mr->GetCounter("site.committed_acquires", l)->Add(s.committed_acquires);
+    mr->GetCounter("site.committed_releases", l)->Add(s.committed_releases);
+    mr->GetCounter("site.committed_reads", l)->Add(s.committed_reads);
+    mr->GetCounter("site.rejected", l)->Add(s.rejected);
+    mr->GetCounter("site.requests_queued", l)->Add(s.requests_queued);
+    mr->GetCounter("site.proactive_redistributions", l)
+        ->Add(s.proactive_redistributions);
+    mr->GetCounter("site.reactive_redistributions", l)
+        ->Add(s.reactive_redistributions);
+    mr->GetCounter("site.instances_completed", l)->Add(s.instances_completed);
+    mr->GetCounter("site.instances_aborted", l)->Add(s.instances_aborted);
+    mr->GetGauge("site.time_frozen_us", l)->Set(s.time_frozen);
+    mr->GetGauge("site.tokens_left", l)->Set(site->tokens_left());
+  }
+
+  const sim::NetworkStats& ns = cluster_->net().stats();
+  mr->GetCounter("net.messages_sent")->Add(ns.messages_sent);
+  mr->GetCounter("net.messages_delivered")->Add(ns.messages_delivered);
+  mr->GetCounter("net.messages_dropped_loss")->Add(ns.messages_dropped_loss);
+  mr->GetCounter("net.messages_dropped_partition")
+      ->Add(ns.messages_dropped_partition);
+  mr->GetCounter("net.messages_dropped_crashed")
+      ->Add(ns.messages_dropped_crashed);
+  mr->GetCounter("net.messages_dropped_link")->Add(ns.messages_dropped_link);
+  mr->GetCounter("net.messages_duplicated")->Add(ns.messages_duplicated);
+  mr->GetCounter("net.bytes_sent")->Add(ns.bytes_sent);
+  mr->GetGauge("sim.events_executed")->Set(
+      static_cast<int64_t>(cluster_->env().events_executed()));
+
+  // Per-directed-link lifecycle counters (satellite: surfaced through the
+  // snapshot so drop accounting is auditable per link).
+  for (const auto& [key, lc] : cluster_->net().link_counters()) {
+    obs::MetricLabels l;
+    l.site = sim::Network::LinkKeyFrom(key);
+    l.peer = sim::Network::LinkKeyTo(key);
+    mr->GetCounter("link.attempts", l)->Add(lc.attempts);
+    mr->GetCounter("link.duplicated", l)->Add(lc.duplicated);
+    mr->GetCounter("link.dropped_at_send", l)->Add(lc.dropped_at_send);
+    mr->GetCounter("link.delivered", l)->Add(lc.delivered);
+    mr->GetCounter("link.dropped_at_delivery", l)->Add(lc.dropped_at_delivery);
+    mr->GetCounter("link.bytes", l)->Add(lc.bytes);
+  }
+}
+
+JsonValue BuildMetricsSnapshot(const ExperimentResult& result) {
+  JsonValue root = JsonValue::MakeObject();
+  JsonValue summary = JsonValue::MakeObject();
+  summary.Set("committed_acquires", result.aggregate.committed_acquires);
+  summary.Set("committed_releases", result.aggregate.committed_releases);
+  summary.Set("committed_reads", result.aggregate.committed_reads);
+  summary.Set("rejected", result.aggregate.rejected);
+  summary.Set("dropped", result.aggregate.dropped);
+  summary.Set("sent", result.aggregate.sent);
+  summary.Set("instances_completed", result.instances_completed);
+  summary.Set("instances_aborted", result.instances_aborted);
+  summary.Set("proactive_redistributions", result.proactive_redistributions);
+  summary.Set("reactive_redistributions", result.reactive_redistributions);
+  summary.Set("events_executed", result.events_executed);
+  summary.Set("messages_sent", result.network.messages_sent);
+  summary.Set("messages_delivered", result.network.messages_delivered);
+  root.Set("summary", std::move(summary));
+  root.Set("client_latency", result.aggregate.latency.ToJson());
+  if (result.obs != nullptr) {
+    if (const obs::MetricsRegistry* mr = result.obs->metrics()) {
+      root.Set("metrics", mr->ToJson());
+    }
+    if (const obs::EventLoopProfiler* prof = result.obs->profiler()) {
+      root.Set("profiler", prof->ToJson());
+    }
+    if (const obs::Tracer* tracer = result.obs->tracer()) {
+      JsonValue t = JsonValue::MakeObject();
+      t.Set("spans", static_cast<uint64_t>(tracer->spans().size()));
+      t.Set("instants", static_cast<uint64_t>(tracer->instants().size()));
+      t.Set("messages", static_cast<uint64_t>(tracer->messages().size()));
+      root.Set("trace", std::move(t));
+    }
+  }
+  return root;
 }
 
 int64_t Experiment::TotalSiteTokens() const {

@@ -8,6 +8,7 @@
 #include "core/site.h"
 #include "harness/invariant_auditor.h"
 #include "harness/workload_client.h"
+#include "obs/observability.h"
 #include "sim/cluster.h"
 #include "sim/fault_injector.h"
 #include "sim/nemesis.h"
@@ -65,6 +66,10 @@ struct ExperimentOptions {
   // constraint on — it audits Eq. 1, which other systems do not promise).
   sim::FaultSchedule fault_schedule;
   AuditOptions audit;
+
+  /// Observability components to attach (DESIGN.md §8). All off by default:
+  /// the simulator then runs its untraced hot path.
+  obs::ObsOptions obs;
 };
 
 /// Aggregated measurements of one run.
@@ -87,6 +92,11 @@ struct ExperimentResult {
   // Filled when the run was audited (`ExperimentOptions::audit.enabled`).
   std::vector<AuditViolation> violations;
   uint64_t audit_ticks = 0;
+
+  /// The run's observability bundle (metrics registry / tracer / profiler),
+  /// set iff any `ExperimentOptions::obs` component was on. Shared so sweep
+  /// results can be moved around without copying trace buffers.
+  std::shared_ptr<obs::Observability> obs;
 
   double MeanTps(Duration duration) const {
     return static_cast<double>(aggregate.TotalCommitted()) /
@@ -118,6 +128,10 @@ class Experiment {
   const std::vector<core::Site*>& samya_sites() const { return sites_; }
   const std::vector<WorkloadClient*>& clients() const { return clients_; }
 
+  /// The run's observability bundle; null unless `options().obs` requested
+  /// a component. Valid from Setup on.
+  obs::Observability* observability() const { return obs_.get(); }
+
   /// Conservation audit (Eq. 1): sum of site TokensLeft plus net committed
   /// acquires must equal M_e. Meaningful for Samya variants with the
   /// constraint on, after a failure-free drained run.
@@ -132,6 +146,11 @@ class Experiment {
   void SetupSamya();
   void SetupReplicated();
   void SetupDemarcation();
+  /// Names exported trace "processes" and seeds the registry's per-site
+  /// label space (no-op when observability is off).
+  void FinishObsSetup();
+  /// End-of-run registry population: site/network/per-link counters.
+  void SnapshotMetrics();
   void AddClients(const std::vector<std::vector<sim::NodeId>>& servers_per_region);
   std::vector<double> RegionDemandSeries(int region_index) const;
   /// The generated, load-scaled, time-compressed base trace. Every region's
@@ -143,6 +162,7 @@ class Experiment {
   mutable std::unique_ptr<workload::DemandTrace> compressed_base_;
   std::unique_ptr<sim::Cluster> cluster_;
   std::unique_ptr<sim::FaultInjector> faults_;
+  std::shared_ptr<obs::Observability> obs_;
   std::unique_ptr<InvariantAuditor> auditor_;
   std::vector<core::Site*> sites_;
   std::vector<WorkloadClient*> clients_;
@@ -150,6 +170,11 @@ class Experiment {
   std::vector<sim::NodeId> client_ids_;
   bool setup_done_ = false;
 };
+
+/// Full JSON snapshot of one observed run: the metrics registry, the
+/// event-loop profile, and headline result counters. Components that were
+/// disabled are simply absent from the object.
+JsonValue BuildMetricsSnapshot(const ExperimentResult& result);
 
 }  // namespace samya::harness
 

@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdlib>
+#include <string>
 #include <thread>
 #include <utility>
+
+#include "common/logging.h"
 
 namespace samya::harness {
 
@@ -24,9 +27,13 @@ std::vector<ExperimentResult> RunAll(std::vector<ExperimentOptions> options,
   std::vector<ExperimentResult> results(n);
 
   auto run_one = [&](size_t i) {
+    // Tag this thread's log lines with the run it is executing so
+    // interleaved worker output stays attributable.
+    Logger::SetThreadPrefix("run " + std::to_string(i));
     Experiment experiment(options[i]);
     experiment.Setup();
     results[i] = experiment.Run();
+    Logger::SetThreadPrefix("");
   };
 
   if (threads == 1 || n <= 1) {

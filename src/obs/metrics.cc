@@ -1,0 +1,94 @@
+#include "obs/metrics.h"
+
+#include "common/macros.h"
+
+namespace samya::obs {
+
+MetricsRegistry::Entry* MetricsRegistry::FindOrCreate(
+    const char* name, const MetricLabels& labels, Kind kind) {
+  Key key = MakeKey(name, labels);
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    SAMYA_CHECK_MSG(it->second->kind == kind,
+                    "metric '%s' registered with a different kind", name);
+    return it->second.get();
+  }
+  auto entry = std::make_unique<Entry>();
+  entry->kind = kind;
+  entry->labels = labels;
+  if (kind == Kind::kHistogram) {
+    entry->histogram = std::make_unique<Histogram>();
+  }
+  Entry* raw = entry.get();
+  entries_.emplace(std::move(key), std::move(entry));
+  return raw;
+}
+
+Counter* MetricsRegistry::GetCounter(const char* name, MetricLabels labels) {
+  return &FindOrCreate(name, labels, Kind::kCounter)->counter;
+}
+
+Gauge* MetricsRegistry::GetGauge(const char* name, MetricLabels labels) {
+  return &FindOrCreate(name, labels, Kind::kGauge)->gauge;
+}
+
+Histogram* MetricsRegistry::GetHistogram(const char* name,
+                                         MetricLabels labels) {
+  return FindOrCreate(name, labels, Kind::kHistogram)->histogram.get();
+}
+
+void MetricsRegistry::Merge(const MetricsRegistry& other) {
+  for (const auto& [key, entry] : other.entries_) {
+    MetricLabels labels;
+    labels.site = std::get<1>(key);
+    labels.peer = std::get<2>(key);
+    // Point the merged entry's label strings at the other registry's
+    // originals; both sides required them to outlive the registries.
+    labels.protocol = entry->labels.protocol;
+    labels.round = entry->labels.round;
+    Entry* mine = FindOrCreate(std::get<0>(key).c_str(), labels, entry->kind);
+    switch (entry->kind) {
+      case Kind::kCounter:
+        mine->counter.Add(entry->counter.value());
+        break;
+      case Kind::kGauge:
+        if (entry->gauge.value() > mine->gauge.value()) {
+          mine->gauge.Set(entry->gauge.value());
+        }
+        break;
+      case Kind::kHistogram:
+        mine->histogram->Merge(*entry->histogram);
+        break;
+    }
+  }
+}
+
+JsonValue MetricsRegistry::ToJson() const {
+  JsonValue out = JsonValue::MakeArray();
+  for (const auto& [key, entry] : entries_) {
+    JsonValue m = JsonValue::MakeObject();
+    m.Set("name", std::get<0>(key));
+    if (std::get<1>(key) >= 0) m.Set("site", int64_t{std::get<1>(key)});
+    if (std::get<2>(key) >= 0) m.Set("peer", int64_t{std::get<2>(key)});
+    if (!std::get<3>(key).empty()) m.Set("protocol", std::get<3>(key));
+    if (!std::get<4>(key).empty()) m.Set("round", std::get<4>(key));
+    switch (entry->kind) {
+      case Kind::kCounter:
+        m.Set("kind", "counter");
+        m.Set("value", entry->counter.value());
+        break;
+      case Kind::kGauge:
+        m.Set("kind", "gauge");
+        m.Set("value", entry->gauge.value());
+        break;
+      case Kind::kHistogram:
+        m.Set("kind", "histogram");
+        m.Set("value", entry->histogram->ToJson());
+        break;
+    }
+    out.Append(std::move(m));
+  }
+  return out;
+}
+
+}  // namespace samya::obs

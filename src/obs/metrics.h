@@ -1,0 +1,114 @@
+#ifndef SAMYA_OBS_METRICS_H_
+#define SAMYA_OBS_METRICS_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <tuple>
+
+#include "common/histogram.h"
+#include "common/json.h"
+
+namespace samya::obs {
+
+/// \file
+/// Metrics registry of the observability layer (DESIGN.md §8).
+///
+/// Every measurement the paper's evaluation reads off a run — per-protocol
+/// message counts (Table 3), latency CDFs (Fig 3), redistribution round
+/// durations — is a named counter/gauge/histogram with a small fixed label
+/// set, registered here instead of scraped ad hoc from component structs.
+/// A registry is single-threaded (it belongs to one simulation), snapshots
+/// to JSON via `common/json`, and merges across `parallel_runner` workers
+/// (each worker's experiment owns its own registry; sweep tools merge the
+/// per-run registries after the join).
+
+/// Label set shared by all metric families. `site` / `peer` are node ids
+/// (-1 = not site-scoped); `protocol` and `round` are static strings (e.g.
+/// "majority" / "any", "election" / "accept" / "reactive"). Pointers must be
+/// string literals or otherwise outlive the registry.
+struct MetricLabels {
+  int32_t site = -1;
+  int32_t peer = -1;
+  const char* protocol = "";
+  const char* round = "";
+};
+
+/// Monotonic counter.
+class Counter {
+ public:
+  void Add(uint64_t n = 1) { value_ += n; }
+  uint64_t value() const { return value_; }
+
+ private:
+  friend class MetricsRegistry;
+  uint64_t value_ = 0;
+};
+
+/// Last-write-wins instantaneous value.
+class Gauge {
+ public:
+  void Set(int64_t v) { value_ = v; }
+  int64_t value() const { return value_; }
+
+ private:
+  friend class MetricsRegistry;
+  int64_t value_ = 0;
+};
+
+/// \brief Registry of named, labeled metrics with stable pointers.
+///
+/// `GetX(name, labels)` is find-or-create; the returned pointer stays valid
+/// for the registry's lifetime, so hot paths resolve their metric once and
+/// increment through the cached pointer. Lookups keep an ordered map keyed
+/// by (name, labels) so `ToJson` output is deterministic and diffs cleanly.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter* GetCounter(const char* name, MetricLabels labels = {});
+  Gauge* GetGauge(const char* name, MetricLabels labels = {});
+  Histogram* GetHistogram(const char* name, MetricLabels labels = {});
+
+  /// Folds `other` into this registry: counters add, histograms merge,
+  /// gauges keep the maximum (the only cross-run reduction that is
+  /// order-independent, which the parallel-runner determinism contract
+  /// needs). Metrics absent locally are created.
+  void Merge(const MetricsRegistry& other);
+
+  /// Snapshot: an array of {name, labels..., kind, value | histogram}.
+  /// Deterministic order (sorted by name, then labels).
+  JsonValue ToJson() const;
+
+  size_t size() const { return entries_.size(); }
+
+ private:
+  enum class Kind : uint8_t { kCounter, kGauge, kHistogram };
+
+  using Key = std::tuple<std::string, int32_t, int32_t, std::string,
+                         std::string>;  // name, site, peer, protocol, round
+
+  struct Entry {
+    Kind kind;
+    MetricLabels labels;  // strings re-pointed into the key for safety
+    Counter counter;
+    Gauge gauge;
+    std::unique_ptr<Histogram> histogram;  // only for kHistogram
+  };
+
+  static Key MakeKey(const char* name, const MetricLabels& labels) {
+    return Key(name, labels.site, labels.peer, labels.protocol, labels.round);
+  }
+
+  Entry* FindOrCreate(const char* name, const MetricLabels& labels,
+                      Kind kind);
+
+  std::map<Key, std::unique_ptr<Entry>> entries_;
+};
+
+}  // namespace samya::obs
+
+#endif  // SAMYA_OBS_METRICS_H_

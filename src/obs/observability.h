@@ -1,0 +1,55 @@
+#ifndef SAMYA_OBS_OBSERVABILITY_H_
+#define SAMYA_OBS_OBSERVABILITY_H_
+
+#include <memory>
+
+#include "obs/metrics.h"
+#include "obs/profiler.h"
+#include "obs/trace.h"
+
+namespace samya::obs {
+
+/// Which observability components a run should carry. Everything defaults to
+/// off: the simulator then sees null component pointers and every
+/// instrumentation site reduces to a single predictable branch.
+struct ObsOptions {
+  bool metrics = false;   ///< MetricsRegistry snapshot in the result
+  bool tracing = false;   ///< causal spans + message records (Perfetto export)
+  bool profiler = false;  ///< event-loop wall-clock accounting
+
+  bool any() const { return metrics || tracing || profiler; }
+
+  static ObsOptions All() { return ObsOptions{true, true, true}; }
+};
+
+/// \brief Bundle of the per-run observability components.
+///
+/// One per simulation, created by `Experiment::Setup` when any component is
+/// requested and shared (by pointer) with the Network/SimEnvironment. Held
+/// by `shared_ptr` in results so parallel sweeps can move results around
+/// without copying trace buffers.
+class Observability {
+ public:
+  explicit Observability(const ObsOptions& options) : options_(options) {
+    if (options.metrics) metrics_ = std::make_unique<MetricsRegistry>();
+    if (options.tracing) tracer_ = std::make_unique<Tracer>();
+    if (options.profiler) profiler_ = std::make_unique<EventLoopProfiler>();
+  }
+
+  const ObsOptions& options() const { return options_; }
+
+  /// Component accessors: null when the component is disabled.
+  MetricsRegistry* metrics() const { return metrics_.get(); }
+  Tracer* tracer() const { return tracer_.get(); }
+  EventLoopProfiler* profiler() const { return profiler_.get(); }
+
+ private:
+  ObsOptions options_;
+  std::unique_ptr<MetricsRegistry> metrics_;
+  std::unique_ptr<Tracer> tracer_;
+  std::unique_ptr<EventLoopProfiler> profiler_;
+};
+
+}  // namespace samya::obs
+
+#endif  // SAMYA_OBS_OBSERVABILITY_H_

@@ -1,0 +1,128 @@
+#include "obs/trace.h"
+
+namespace samya::obs {
+
+TraceContext Tracer::BeginSpan(SimTime now, int32_t site, const char* name,
+                               const char* category, TraceContext parent) {
+  Span s;
+  s.trace_id = parent.valid() ? parent.trace_id : next_trace_id_++;
+  s.span_id = next_span_id_++;
+  s.parent_span_id = parent.valid() ? parent.span_id : 0;
+  s.site = site;
+  s.name = name;
+  s.category = category;
+  s.start = now;
+  open_.emplace(s.span_id, spans_.size());
+  spans_.push_back(s);
+  return TraceContext{s.trace_id, s.span_id};
+}
+
+void Tracer::SetSpanArg(TraceContext span, int slot, const char* name,
+                        int64_t value) {
+  auto it = open_.find(span.span_id);
+  if (it == open_.end() || slot < 0 || slot > 1) return;
+  spans_[it->second].arg_name[slot] = name;
+  spans_[it->second].arg_value[slot] = value;
+}
+
+void Tracer::EndSpan(SimTime now, TraceContext span) {
+  auto it = open_.find(span.span_id);
+  if (it == open_.end()) return;
+  spans_[it->second].end = now;
+  open_.erase(it);
+}
+
+void Tracer::Instant(SimTime now, int32_t site, const char* name,
+                     const char* category, TraceContext ctx) {
+  Span s;
+  s.trace_id = ctx.trace_id;
+  s.span_id = 0;
+  s.parent_span_id = ctx.span_id;
+  s.site = site;
+  s.name = name;
+  s.category = category;
+  s.start = now;
+  s.end = now;
+  instants_.push_back(s);
+}
+
+void Tracer::CloseOpenSpans(SimTime now) {
+  for (const auto& [id, index] : open_) spans_[index].end = now;
+  open_.clear();
+}
+
+uint64_t Tracer::OnMessageSent(SimTime now, int32_t from, int32_t to,
+                               uint32_t type, size_t bytes, TraceContext ctx) {
+  MessageRecord r;
+  r.sent = now;
+  r.from = from;
+  r.to = to;
+  r.type = type;
+  r.bytes = static_cast<uint32_t>(bytes);
+  r.fate = MsgFate::kInFlight;
+  r.ctx = ctx;
+  messages_.push_back(r);
+  return messages_.size() - 1;
+}
+
+void Tracer::OnMessageDroppedAtSend(SimTime now, int32_t from, int32_t to,
+                                    uint32_t type, size_t bytes,
+                                    TraceContext ctx) {
+  size_t handle = OnMessageSent(now, from, to, type, bytes, ctx);
+  messages_[handle].fate = MsgFate::kDroppedAtSend;
+  messages_[handle].delivered = now;
+}
+
+void Tracer::OnMessageDelivered(uint64_t handle, SimTime now) {
+  messages_[handle].fate = MsgFate::kDelivered;
+  messages_[handle].delivered = now;
+}
+
+void Tracer::OnMessageDroppedAtDelivery(uint64_t handle, SimTime now) {
+  messages_[handle].fate = MsgFate::kDroppedAtDelivery;
+  messages_[handle].delivered = now;
+}
+
+void Tracer::SetProcessName(int32_t pid, std::string name) {
+  process_names_[pid] = std::move(name);
+}
+
+const char* MessageTypeName(uint32_t type) {
+  switch (type) {
+    case 10: return "token_request";
+    case 11: return "token_response";
+    case 100: return "mp_prepare";
+    case 101: return "mp_promise";
+    case 102: return "mp_accept";
+    case 103: return "mp_accepted";
+    case 104: return "mp_commit";
+    case 105: return "mp_heartbeat";
+    case 120: return "raft_request_vote";
+    case 121: return "raft_vote_response";
+    case 122: return "raft_append_entries";
+    case 123: return "raft_append_response";
+    case 140: return "paxos_prepare";
+    case 141: return "paxos_promise";
+    case 142: return "paxos_accept";
+    case 143: return "paxos_accepted";
+    case 144: return "paxos_learn";
+    case 200: return "election_get_value";
+    case 201: return "election_ok_value";
+    case 202: return "accept_value";
+    case 203: return "accept_ok";
+    case 204: return "decision";
+    case 205: return "discard";
+    case 206: return "status_query";
+    case 207: return "status_reply";
+    case 230: return "read_query";
+    case 231: return "read_reply";
+    case 250: return "borrow_request";
+    case 251: return "borrow_reply";
+    case 260: return "gossip";
+    case 261: return "escrow_transfer_request";
+    case 262: return "escrow_transfer_reply";
+    default: return "msg";
+  }
+}
+
+}  // namespace samya::obs

@@ -1,0 +1,180 @@
+#ifndef SAMYA_OBS_TRACE_H_
+#define SAMYA_OBS_TRACE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/time.h"
+
+namespace samya::obs {
+
+/// \file
+/// Causal protocol tracing (DESIGN.md §8).
+///
+/// A *trace* is one causal story — typically an acquire request and every
+/// Avantan round, cohort engagement, and message it triggers. A *span* is a
+/// named sim-time interval on one node, with a parent span. Trace and span
+/// ids come from plain counters — never from the simulation RNG — and the
+/// context rides an out-of-band envelope header on the simulated network
+/// (`sim::Network` captures the sender's current context at Send and
+/// installs it around the receiver's handler), so tracing on vs. off leaves
+/// payload bytes, RNG draws, and event ordering bit-identical.
+
+/// Propagated context: the trace a causal chain belongs to plus the span
+/// that is its immediate parent. Zero trace id = no context.
+struct TraceContext {
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+
+  bool valid() const { return trace_id != 0; }
+};
+
+/// A finished (or still open, end < 0) sim-time interval.
+struct Span {
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+  uint64_t parent_span_id = 0;  ///< 0 = trace root
+  int32_t site = -1;            ///< node id; "process" in the export
+  const char* name = "";        ///< static string
+  const char* category = "";    ///< "request" | "round" | ...
+  SimTime start = 0;
+  SimTime end = -1;  ///< -1 while open
+  /// Up to two named integer arguments (instance id, token amounts, ...).
+  const char* arg_name[2] = {nullptr, nullptr};
+  int64_t arg_value[2] = {0, 0};
+};
+
+/// Message lifecycle fates mirrored from `sim::TapEvent`.
+enum class MsgFate : uint8_t {
+  kInFlight = 0,
+  kDelivered,
+  kDroppedAtSend,
+  kDroppedAtDelivery,
+};
+
+/// One simulated message observed while tracing: send/delivery sim-times,
+/// endpoints, wire type, and the causal context it carried.
+struct MessageRecord {
+  SimTime sent = 0;
+  SimTime delivered = -1;  ///< meaningful when fate == kDelivered/kDropped...
+  int32_t from = -1;
+  int32_t to = -1;
+  uint32_t type = 0;
+  uint32_t bytes = 0;
+  MsgFate fate = MsgFate::kInFlight;
+  TraceContext ctx;  ///< sender's context at Send time
+};
+
+/// \brief Span and message recorder for one simulation.
+///
+/// Single-threaded, owned by the experiment alongside the SimEnvironment.
+/// Components reach it through `sim::Network`; a null tracer pointer means
+/// tracing is disabled and every call site reduces to one branch.
+class Tracer {
+ public:
+  Tracer() = default;
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  // --- Ambient context ------------------------------------------------------
+
+  TraceContext current() const { return current_; }
+  void set_current(TraceContext ctx) { current_ = ctx; }
+
+  /// RAII: installs `ctx` as the current context for the enclosing scope.
+  /// Tolerates a null tracer (no-op), so call sites stay unconditional.
+  class ContextGuard {
+   public:
+    ContextGuard(Tracer* tracer, TraceContext ctx) : tracer_(tracer) {
+      if (tracer_ != nullptr) {
+        saved_ = tracer_->current_;
+        tracer_->current_ = ctx;
+      }
+    }
+    ~ContextGuard() {
+      if (tracer_ != nullptr) tracer_->current_ = saved_;
+    }
+    ContextGuard(const ContextGuard&) = delete;
+    ContextGuard& operator=(const ContextGuard&) = delete;
+
+   private:
+    Tracer* tracer_;
+    TraceContext saved_;
+  };
+
+  // --- Spans ----------------------------------------------------------------
+
+  /// Opens a span. With a valid `parent` the span joins the parent's trace;
+  /// otherwise it roots a fresh trace. Returns the context naming the new
+  /// span (use it as a parent, for sends, and to close the span).
+  TraceContext BeginSpan(SimTime now, int32_t site, const char* name,
+                         const char* category, TraceContext parent);
+
+  /// Attaches a named integer argument to an open span (slot 0 or 1).
+  void SetSpanArg(TraceContext span, int slot, const char* name,
+                  int64_t value);
+
+  /// Closes a span. Idempotent: closing an unknown/already-closed span id is
+  /// a no-op, which lets protocol code end spans from multiple exit paths.
+  void EndSpan(SimTime now, TraceContext span);
+
+  /// Zero-duration marker (exported as an instant event).
+  void Instant(SimTime now, int32_t site, const char* name,
+               const char* category, TraceContext ctx);
+
+  /// Closes every still-open span at `now` (end of run, crashes).
+  void CloseOpenSpans(SimTime now);
+
+  // --- Messages (called by sim::Network) ------------------------------------
+
+  /// Records an accepted-for-transmission message; returns a handle for the
+  /// delivery-time update.
+  uint64_t OnMessageSent(SimTime now, int32_t from, int32_t to, uint32_t type,
+                         size_t bytes, TraceContext ctx);
+
+  /// Records a message cut at send time (no handle: no future event).
+  void OnMessageDroppedAtSend(SimTime now, int32_t from, int32_t to,
+                              uint32_t type, size_t bytes, TraceContext ctx);
+
+  void OnMessageDelivered(uint64_t handle, SimTime now);
+  void OnMessageDroppedAtDelivery(uint64_t handle, SimTime now);
+
+  /// Context the message carried (for installing around the receiver's
+  /// handler).
+  TraceContext MessageContext(uint64_t handle) const {
+    return messages_[handle].ctx;
+  }
+
+  // --- Export surface -------------------------------------------------------
+
+  /// Names the exported "process" for a node id (site/app-manager/client).
+  void SetProcessName(int32_t pid, std::string name);
+
+  const std::vector<Span>& spans() const { return spans_; }
+  const std::vector<Span>& instants() const { return instants_; }
+  const std::vector<MessageRecord>& messages() const { return messages_; }
+  const std::map<int32_t, std::string>& process_names() const {
+    return process_names_;
+  }
+
+ private:
+  uint64_t next_trace_id_ = 1;
+  uint64_t next_span_id_ = 1;
+  TraceContext current_;
+  std::vector<Span> spans_;
+  std::vector<Span> instants_;
+  std::unordered_map<uint64_t, size_t> open_;  // span id -> index in spans_
+  std::vector<MessageRecord> messages_;
+  std::map<int32_t, std::string> process_names_;
+};
+
+/// Human name of a wire message type (registry in common/token_api.h).
+/// Returns a static string; unknown types map to "msg".
+const char* MessageTypeName(uint32_t type);
+
+}  // namespace samya::obs
+
+#endif  // SAMYA_OBS_TRACE_H_

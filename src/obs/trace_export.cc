@@ -1,0 +1,131 @@
+#include "obs/trace_export.h"
+
+#include <cstdio>
+
+namespace samya::obs {
+
+namespace {
+
+JsonValue SpanArgs(const Span& s) {
+  JsonValue args = JsonValue::MakeObject();
+  args.Set("span", s.span_id);
+  args.Set("parent", s.parent_span_id);
+  for (int i = 0; i < 2; ++i) {
+    if (s.arg_name[i] != nullptr) args.Set(s.arg_name[i], s.arg_value[i]);
+  }
+  return args;
+}
+
+const char* FateName(MsgFate fate) {
+  switch (fate) {
+    case MsgFate::kInFlight: return "in_flight";
+    case MsgFate::kDelivered: return "delivered";
+    case MsgFate::kDroppedAtSend: return "dropped_at_send";
+    case MsgFate::kDroppedAtDelivery: return "dropped_at_delivery";
+  }
+  return "unknown";
+}
+
+}  // namespace
+
+JsonValue TraceToChromeJson(const Tracer& tracer) {
+  JsonValue events = JsonValue::MakeArray();
+
+  for (const auto& [pid, name] : tracer.process_names()) {
+    JsonValue m = JsonValue::MakeObject();
+    m.Set("name", "process_name");
+    m.Set("ph", "M");
+    m.Set("pid", int64_t{pid});
+    JsonValue args = JsonValue::MakeObject();
+    args.Set("name", name);
+    m.Set("args", std::move(args));
+    events.Append(std::move(m));
+  }
+
+  for (const Span& s : tracer.spans()) {
+    // Async-nestable pair keyed by (cat, id): one stacked track per
+    // (process, trace), which is what makes overlapping requests readable.
+    JsonValue b = JsonValue::MakeObject();
+    b.Set("name", s.name);
+    b.Set("cat", s.category);
+    b.Set("ph", "b");
+    b.Set("id", s.trace_id);
+    b.Set("pid", int64_t{s.site});
+    b.Set("tid", int64_t{0});
+    b.Set("ts", s.start);
+    b.Set("args", SpanArgs(s));
+    events.Append(std::move(b));
+
+    JsonValue e = JsonValue::MakeObject();
+    e.Set("name", s.name);
+    e.Set("cat", s.category);
+    e.Set("ph", "e");
+    e.Set("id", s.trace_id);
+    e.Set("pid", int64_t{s.site});
+    e.Set("tid", int64_t{0});
+    e.Set("ts", s.end >= 0 ? s.end : s.start);
+    events.Append(std::move(e));
+  }
+
+  for (const Span& s : tracer.instants()) {
+    JsonValue i = JsonValue::MakeObject();
+    i.Set("name", s.name);
+    i.Set("cat", s.category);
+    i.Set("ph", "i");
+    i.Set("s", "p");
+    i.Set("pid", int64_t{s.site});
+    i.Set("tid", int64_t{0});
+    i.Set("ts", s.start);
+    if (s.trace_id != 0) {
+      JsonValue args = JsonValue::MakeObject();
+      args.Set("trace", s.trace_id);
+      args.Set("parent", s.parent_span_id);
+      i.Set("args", std::move(args));
+    }
+    events.Append(std::move(i));
+  }
+
+  for (const MessageRecord& r : tracer.messages()) {
+    JsonValue x = JsonValue::MakeObject();
+    x.Set("name", MessageTypeName(r.type));
+    x.Set("cat", "msg");
+    x.Set("ph", "X");
+    x.Set("pid", int64_t{r.from});
+    x.Set("tid", int64_t{1});
+    x.Set("ts", r.sent);
+    int64_t dur = r.delivered >= r.sent ? r.delivered - r.sent : 0;
+    x.Set("dur", dur);
+    JsonValue args = JsonValue::MakeObject();
+    args.Set("to", int64_t{r.to});
+    args.Set("type", int64_t{r.type});
+    args.Set("bytes", int64_t{r.bytes});
+    args.Set("fate", FateName(r.fate));
+    if (r.ctx.valid()) {
+      args.Set("trace", r.ctx.trace_id);
+      args.Set("parent", r.ctx.span_id);
+    }
+    x.Set("args", std::move(args));
+    events.Append(std::move(x));
+  }
+
+  JsonValue doc = JsonValue::MakeObject();
+  doc.Set("traceEvents", std::move(events));
+  doc.Set("displayTimeUnit", "ms");
+  return doc;
+}
+
+Status WriteChromeTrace(const Tracer& tracer, const std::string& path) {
+  std::string text = JsonDump(TraceToChromeJson(tracer));
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::Unavailable("cannot open trace file: " + path);
+  }
+  size_t written = std::fwrite(text.data(), 1, text.size(), f);
+  int close_err = std::fclose(f);
+  if (written != text.size() || close_err != 0) {
+    return Status::Unavailable("short write to trace file: " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace samya::obs

@@ -1,0 +1,35 @@
+#ifndef SAMYA_OBS_TRACE_EXPORT_H_
+#define SAMYA_OBS_TRACE_EXPORT_H_
+
+#include <string>
+
+#include "common/json.h"
+#include "common/status.h"
+#include "obs/trace.h"
+
+namespace samya::obs {
+
+/// \file
+/// Chrome trace-event export (DESIGN.md §8).
+///
+/// Converts a `Tracer` into the Chrome trace-event JSON format, loadable in
+/// Perfetto (ui.perfetto.dev) and chrome://tracing. Mapping:
+///  - `ts` is sim-time in microseconds (SimTime is already µs).
+///  - Each node is a trace "process"; "M" metadata events carry its name.
+///  - Spans are async-nestable "b"/"e" pairs with `id` = trace id, so all
+///    spans of one causal chain stack on one per-site track even when many
+///    requests overlap. `args` carries span/parent ids for samya_inspect.
+///  - Messages are "X" complete events on the sender's process (tid 1),
+///    `dur` = flight time; drops get a zero/cut duration plus a `fate` arg.
+///  - Instants are "i" events with process scope.
+
+/// Builds the full document: {"traceEvents": [...], "displayTimeUnit": "ms"}.
+JsonValue TraceToChromeJson(const Tracer& tracer);
+
+/// Writes `TraceToChromeJson` to `path` (compact, one line). Returns an
+/// error status if the file cannot be written.
+Status WriteChromeTrace(const Tracer& tracer, const std::string& path);
+
+}  // namespace samya::obs
+
+#endif  // SAMYA_OBS_TRACE_EXPORT_H_

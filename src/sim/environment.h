@@ -7,6 +7,7 @@
 #include "common/macros.h"
 #include "common/random.h"
 #include "common/time.h"
+#include "obs/profiler.h"
 #include "sim/event_queue.h"
 
 namespace samya::sim {
@@ -50,7 +51,13 @@ class SimEnvironment {
     SAMYA_CHECK_GE(p.time, now_);
     now_ = p.time;
     ++events_executed_;
-    queue_.InvokeAndRecycle(p.slot);
+    if (profiler_ == nullptr) {
+      queue_.InvokeAndRecycle(p.slot);
+    } else {
+      const int64_t t0 = obs::EventLoopProfiler::NowNs();
+      queue_.InvokeAndRecycle(p.slot);
+      profiler_->AccountEvent(obs::EventLoopProfiler::NowNs() - t0);
+    }
     return true;
   }
 
@@ -69,12 +76,22 @@ class SimEnvironment {
   uint64_t events_executed() const { return events_executed_; }
   size_t pending_events() const { return queue_.size(); }
 
+  /// Attaches the event-loop profiler (nullptr = disabled, the default; the
+  /// loop then takes a single never-taken branch per event).
+  void set_profiler(obs::EventLoopProfiler* profiler) { profiler_ = profiler; }
+  obs::EventLoopProfiler* profiler() const { return profiler_; }
+
+  /// Stable pointer to the simulated clock, for out-of-loop readers like
+  /// `Logger::SetThreadSimClock`. Valid for this environment's lifetime.
+  const SimTime* now_ptr() const { return &now_; }
+
  private:
   SimTime now_ = 0;
   uint64_t next_seq_ = 0;
   uint64_t events_executed_ = 0;
   EventQueue queue_;
   Rng rng_;
+  obs::EventLoopProfiler* profiler_ = nullptr;
 };
 
 }  // namespace samya::sim

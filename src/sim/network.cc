@@ -87,36 +87,60 @@ Duration Network::ScaledLatency(Node* sender, Node* receiver) {
   return scaled < 1.0 ? Duration{1} : static_cast<Duration>(scaled);
 }
 
+void Network::InvokeHandler(Node* recv, NodeId from, uint32_t type,
+                            BufferReader& reader) {
+  if (profiler_ == nullptr) {
+    recv->HandleMessage(from, type, reader);
+  } else {
+    const int64_t t0 = obs::EventLoopProfiler::NowNs();
+    recv->HandleMessage(from, type, reader);
+    profiler_->AccountMessage(type, obs::EventLoopProfiler::NowNs() - t0);
+  }
+}
+
 void Network::Deliver(NodeId from, NodeId to, uint32_t type,
-                      std::vector<uint8_t> payload) {
+                      std::vector<uint8_t> payload, uint64_t rec) {
   Node* recv = node(to);
+  LinkCounters* lc =
+      metrics_ != nullptr ? &link_counters_[LinkKey(from, to)] : nullptr;
+  bool dropped = true;
   if (!recv->alive()) {
     ++stats_.messages_dropped_crashed;
-    if (tap_) {
-      tap_(env_->Now(), from, to, type, payload.size(),
-           TapEvent::kDroppedAtDelivery);
-    }
   } else if (partitioned_ && !CanCommunicate(from, to)) {
     // A partition that formed while the message was in flight also cuts it.
     ++stats_.messages_dropped_partition;
-    if (tap_) {
-      tap_(env_->Now(), from, to, type, payload.size(),
-           TapEvent::kDroppedAtDelivery);
-    }
   } else if (!cut_links_.empty() && LinkCut(from, to)) {
     // Same rule for a link cut that formed mid-flight.
     ++stats_.messages_dropped_link;
+  } else {
+    dropped = false;
+  }
+
+  if (dropped) {
+    if (lc != nullptr) ++lc->dropped_at_delivery;
     if (tap_) {
       tap_(env_->Now(), from, to, type, payload.size(),
            TapEvent::kDroppedAtDelivery);
     }
+    if (rec != kNoMsgRecord) {
+      tracer_->OnMessageDroppedAtDelivery(rec, env_->Now());
+    }
   } else {
     ++stats_.messages_delivered;
+    if (lc != nullptr) ++lc->delivered;
     if (tap_) {
       tap_(env_->Now(), from, to, type, payload.size(), TapEvent::kDelivered);
     }
     BufferReader reader(payload);
-    recv->HandleMessage(from, type, reader);
+    if (rec != kNoMsgRecord) {
+      tracer_->OnMessageDelivered(rec, env_->Now());
+      // Install the sender's context around the handler so spans the
+      // receiver opens parent correctly across the network hop.
+      obs::Tracer::ContextGuard guard(tracer_, tracer_->MessageContext(rec));
+      InvokeHandler(recv, from, type, reader);
+    } else {
+      InvokeHandler(recv, from, type, reader);
+    }
   }
   pool_.Release(std::move(payload));
 }
@@ -128,30 +152,33 @@ void Network::Send(NodeId from, NodeId to, uint32_t type,
   if (!sender->alive()) return;  // a crashed node sends nothing
   ++stats_.messages_sent;
   stats_.bytes_sent += payload.size();
+  LinkCounters* lc =
+      metrics_ != nullptr ? &link_counters_[LinkKey(from, to)] : nullptr;
+  if (lc != nullptr) {
+    ++lc->attempts;
+    lc->bytes += payload.size();
+  }
 
+  bool dropped_at_send = false;
   if (partitioned_ && !CanCommunicate(from, to)) {
     ++stats_.messages_dropped_partition;
-    if (tap_) {
-      tap_(env_->Now(), from, to, type, payload.size(),
-           TapEvent::kDroppedAtSend);
-    }
-    pool_.Release(std::move(payload));
-    return;
-  }
-  if (!cut_links_.empty() && LinkCut(from, to)) {
+    dropped_at_send = true;
+  } else if (!cut_links_.empty() && LinkCut(from, to)) {
     ++stats_.messages_dropped_link;
+    dropped_at_send = true;
+  } else if (loss_rate_ > 0 && rng_.Bernoulli(loss_rate_)) {
+    ++stats_.messages_dropped_loss;
+    dropped_at_send = true;
+  }
+  if (dropped_at_send) {
+    if (lc != nullptr) ++lc->dropped_at_send;
     if (tap_) {
       tap_(env_->Now(), from, to, type, payload.size(),
            TapEvent::kDroppedAtSend);
     }
-    pool_.Release(std::move(payload));
-    return;
-  }
-  if (loss_rate_ > 0 && rng_.Bernoulli(loss_rate_)) {
-    ++stats_.messages_dropped_loss;
-    if (tap_) {
-      tap_(env_->Now(), from, to, type, payload.size(),
-           TapEvent::kDroppedAtSend);
+    if (tracer_ != nullptr) {
+      tracer_->OnMessageDroppedAtSend(env_->Now(), from, to, type,
+                                      payload.size(), tracer_->current());
     }
     pool_.Release(std::move(payload));
     return;
@@ -162,23 +189,47 @@ void Network::Send(NodeId from, NodeId to, uint32_t type,
     // Inject a copy with an independently sampled latency; it races the
     // original and may arrive first (duplication implies reordering).
     ++stats_.messages_duplicated;
+    if (lc != nullptr) ++lc->duplicated;
     std::vector<uint8_t> copy = pool_.Acquire();
     copy.assign(payload.begin(), payload.end());
     const Duration dup_latency = ScaledLatency(sender, receiver);
-    env_->Schedule(dup_latency, [this, from, to, type,
-                                 payload = std::move(copy)]() mutable {
-      Deliver(from, to, type, std::move(payload));
-    });
+    if (tracer_ == nullptr) {
+      env_->Schedule(dup_latency, [this, from, to, type,
+                                   payload = std::move(copy)]() mutable {
+        Deliver(from, to, type, std::move(payload));
+      });
+    } else {
+      // The duplicate gets its own message record (it fires its own
+      // terminal tap event) carrying the same causal context.
+      const uint64_t rec = tracer_->OnMessageSent(
+          env_->Now(), from, to, type, copy.size(), tracer_->current());
+      env_->Schedule(dup_latency, [this, from, to, type, rec,
+                                   payload = std::move(copy)]() mutable {
+        Deliver(from, to, type, std::move(payload), rec);
+      });
+    }
   }
 
   const Duration latency = ScaledLatency(sender, receiver);
-  // The delivery closure (48 bytes: this + ids + type + the payload vector)
-  // fits SimCallback's inline buffer, and the payload returns to the pool
-  // whether the message is delivered or dropped in flight.
-  env_->Schedule(latency, [this, from, to, type,
-                           payload = std::move(payload)]() mutable {
-    Deliver(from, to, type, std::move(payload));
-  });
+  if (tracer_ == nullptr) {
+    // The delivery closure (48 bytes: this + ids + type + the payload vector)
+    // fits SimCallback's inline buffer, and the payload returns to the pool
+    // whether the message is delivered or dropped in flight.
+    env_->Schedule(latency, [this, from, to, type,
+                             payload = std::move(payload)]() mutable {
+      Deliver(from, to, type, std::move(payload));
+    });
+  } else {
+    // Traced sends carry the sender's context out-of-band: the record id
+    // rides the (heap-fallback) closure, never the payload bytes, so the
+    // wire format and every RNG draw are identical with tracing off.
+    const uint64_t rec = tracer_->OnMessageSent(
+        env_->Now(), from, to, type, payload.size(), tracer_->current());
+    env_->Schedule(latency, [this, from, to, type, rec,
+                             payload = std::move(payload)]() mutable {
+      Deliver(from, to, type, std::move(payload), rec);
+    });
+  }
 }
 
 void Network::Crash(NodeId id) {
@@ -228,11 +279,27 @@ uint64_t Network::ArmTimer(Node* n, Duration delay, uint64_t token) {
   const uint64_t timer_id = n->next_timer_id_++;
   n->active_timers_.insert(timer_id);
   const uint64_t epoch = n->epoch_;
-  env_->Schedule(delay, [n, timer_id, token, epoch]() {
+  // The arming context travels into the timer so causality survives
+  // self-scheduled continuations (e.g. Avantan retry timers). The 16-byte
+  // POD context lands the closure at exactly 48 bytes: still inline, still
+  // trivially copyable. The network is reached via n->network_ (not a
+  // captured `this`) to stay inside that budget.
+  const obs::TraceContext ctx =
+      tracer_ != nullptr ? tracer_->current() : obs::TraceContext{};
+  env_->Schedule(delay, [n, timer_id, token, epoch, ctx]() {
     if (!n->alive()) return;
     if (n->epoch_ != epoch) return;  // node crashed/recovered since arming
     if (n->active_timers_.erase(timer_id) == 0) return;  // cancelled
-    n->HandleTimer(token);
+    Network* net = n->network_;
+    obs::Tracer::ContextGuard guard(ctx.valid() ? net->tracer_ : nullptr,
+                                    ctx);
+    if (net->profiler_ == nullptr) {
+      n->HandleTimer(token);
+    } else {
+      const int64_t t0 = obs::EventLoopProfiler::NowNs();
+      n->HandleTimer(token);
+      net->profiler_->AccountTimer(obs::EventLoopProfiler::NowNs() - t0);
+    }
   });
   return timer_id;
 }

@@ -8,6 +8,8 @@
 
 #include "common/buffer_pool.h"
 #include "common/flat_set64.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/environment.h"
 #include "sim/latency_model.h"
 #include "sim/node.h"
@@ -46,6 +48,20 @@ struct NetworkStats {
   uint64_t messages_dropped_link = 0;  ///< one-way link cuts (send + in-flight)
   uint64_t messages_duplicated = 0;    ///< extra copies injected
   uint64_t bytes_sent = 0;
+};
+
+/// Per-directed-link counters, kept only while a `MetricsRegistry` is
+/// attached (see `Network::set_observability`). Accounting is exclusive:
+/// attempts + duplicated == dropped_at_send + delivered + dropped_at_delivery
+/// once the queue drains (duplicate copies skip `attempts` but share the
+/// terminal counters, mirroring the `MessageTap` contract).
+struct LinkCounters {
+  uint64_t attempts = 0;  ///< Sends from an alive sender (copies excluded)
+  uint64_t duplicated = 0;
+  uint64_t dropped_at_send = 0;
+  uint64_t delivered = 0;
+  uint64_t dropped_at_delivery = 0;
+  uint64_t bytes = 0;  ///< payload bytes attempted on this link
 };
 
 /// \brief Simulated asynchronous geo-distributed network (§3.1's model:
@@ -132,6 +148,34 @@ class Network {
   /// Installs a message tap (analysis/debugging; pass nullptr to remove).
   void set_message_tap(MessageTap tap) { tap_ = std::move(tap); }
 
+  /// Attaches observability components (DESIGN.md §8); any may be null.
+  ///  - tracer: records every message (out-of-band trace context; payload
+  ///    bytes and RNG draws are untouched) and carries the sender's ambient
+  ///    context to the receiver's handler and into armed timers.
+  ///  - metrics: enables per-directed-link `LinkCounters`.
+  ///  - profiler: attributes handler wall-time by message type / timer.
+  void set_observability(obs::Tracer* tracer, obs::MetricsRegistry* metrics,
+                         obs::EventLoopProfiler* profiler) {
+    tracer_ = tracer;
+    metrics_ = metrics;
+    profiler_ = profiler;
+  }
+
+  obs::Tracer* tracer() const { return tracer_; }
+  obs::MetricsRegistry* metrics() const { return metrics_; }
+
+  /// Per-link counters keyed by `LinkKey`; empty unless a metrics registry
+  /// is attached. Decode keys with `LinkKeyFrom` / `LinkKeyTo`.
+  const std::unordered_map<uint64_t, LinkCounters>& link_counters() const {
+    return link_counters_;
+  }
+  static NodeId LinkKeyFrom(uint64_t key) {
+    return static_cast<NodeId>(key >> 32) - 1;
+  }
+  static NodeId LinkKeyTo(uint64_t key) {
+    return static_cast<NodeId>(key & 0xffffffffu) - 1;
+  }
+
   // Internal: used by Node to arm timers on the shared event loop.
   uint64_t ArmTimer(Node* node, Duration delay, uint64_t token);
 
@@ -143,12 +187,21 @@ class Network {
            static_cast<uint64_t>(static_cast<uint32_t>(to + 1));
   }
 
+  /// No traced message record: sentinel for the untraced delivery path.
+  static constexpr uint64_t kNoMsgRecord = ~uint64_t{0};
+
   /// Samples link latency and applies global and per-link delay factors.
   Duration ScaledLatency(Node* sender, Node* receiver);
 
   /// Delivery-time half of `Send`: runs when a scheduled copy arrives.
+  /// `rec` is the tracer's message record (kNoMsgRecord when untraced).
   void Deliver(NodeId from, NodeId to, uint32_t type,
-               std::vector<uint8_t> payload);
+               std::vector<uint8_t> payload,
+               uint64_t rec = kNoMsgRecord);
+
+  /// Runs the receiver's handler, timed when the profiler is attached.
+  void InvokeHandler(Node* recv, NodeId from, uint32_t type,
+                     BufferReader& reader);
 
   SimEnvironment* env_;
   LatencyModel model_;
@@ -164,6 +217,10 @@ class Network {
   NetworkStats stats_;
   BufferPool pool_;
   MessageTap tap_;
+  obs::Tracer* tracer_ = nullptr;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::EventLoopProfiler* profiler_ = nullptr;
+  std::unordered_map<uint64_t, LinkCounters> link_counters_;
 };
 
 }  // namespace samya::sim

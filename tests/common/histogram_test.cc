@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "common/json.h"
 #include "common/random.h"
 
 namespace samya {
@@ -94,6 +95,65 @@ TEST(HistogramTest, ToStringMentionsCount) {
   Histogram h;
   h.Record(5000);
   EXPECT_NE(h.ToString().find("count=1"), std::string::npos);
+}
+
+TEST(HistogramTest, PercentileEdgeCases) {
+  Histogram empty;
+  EXPECT_EQ(empty.Percentile(0), 0.0);
+  EXPECT_EQ(empty.Percentile(100), 0.0);
+
+  Histogram single;
+  single.Record(500);
+  // A single sample pins every percentile to that value: interpolation
+  // clamps the bucket to [min, max] = [500, 500].
+  EXPECT_DOUBLE_EQ(single.Percentile(0), 500.0);
+  EXPECT_DOUBLE_EQ(single.Percentile(50), 500.0);
+  EXPECT_DOUBLE_EQ(single.Percentile(100), 500.0);
+  // Out-of-range percentiles clamp rather than extrapolate.
+  EXPECT_DOUBLE_EQ(single.Percentile(-10), 500.0);
+  EXPECT_DOUBLE_EQ(single.Percentile(250), 500.0);
+
+  Histogram two;
+  two.Record(100);
+  two.Record(10000);
+  EXPECT_DOUBLE_EQ(two.Percentile(0), 100.0);
+  EXPECT_DOUBLE_EQ(two.Percentile(100), 10000.0);
+}
+
+TEST(HistogramTest, ToJsonSnapshot) {
+  Histogram h;
+  for (int64_t v = 1; v <= 1000; ++v) h.Record(v);
+  const JsonValue j = h.ToJson();
+  ASSERT_TRUE(j.is_object());
+  EXPECT_EQ(j.GetInt("count", -1), 1000);
+  EXPECT_EQ(j.GetInt("min", -1), 1);
+  EXPECT_EQ(j.GetInt("max", -1), 1000);
+  EXPECT_NEAR(j.GetDouble("p50", 0), 500.0, 500.0 * 0.06);
+
+  const JsonValue* cdf = j.Find("cdf");
+  ASSERT_NE(cdf, nullptr);
+  ASSERT_TRUE(cdf->is_array());
+  ASSERT_FALSE(cdf->as_array().empty());
+  // Cumulative counts are nondecreasing, bounds strictly increasing, and
+  // the last row covers every sample with `le` clamped to the max.
+  int64_t prev_le = -1;
+  int64_t prev_count = 0;
+  for (const JsonValue& row : cdf->as_array()) {
+    EXPECT_GT(row.GetInt("le", -1), prev_le);
+    EXPECT_GE(row.GetInt("count", -1), prev_count);
+    prev_le = row.GetInt("le", -1);
+    prev_count = row.GetInt("count", -1);
+  }
+  EXPECT_EQ(prev_count, 1000);
+  EXPECT_EQ(prev_le, 1000);
+}
+
+TEST(HistogramTest, ToJsonEmpty) {
+  const JsonValue j = Histogram().ToJson();
+  EXPECT_EQ(j.GetInt("count", -1), 0);
+  const JsonValue* cdf = j.Find("cdf");
+  ASSERT_NE(cdf, nullptr);
+  EXPECT_TRUE(cdf->as_array().empty());
 }
 
 }  // namespace

@@ -1,0 +1,112 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "common/json.h"
+
+namespace samya::obs {
+namespace {
+
+MetricLabels SiteLabels(int32_t site, const char* round = "") {
+  MetricLabels l;
+  l.site = site;
+  l.protocol = "majority";
+  l.round = round;
+  return l;
+}
+
+TEST(MetricsRegistryTest, FindOrCreateReturnsStablePointers) {
+  MetricsRegistry mr;
+  Counter* c1 = mr.GetCounter("requests", SiteLabels(0));
+  Counter* c2 = mr.GetCounter("requests", SiteLabels(0));
+  EXPECT_EQ(c1, c2);
+  EXPECT_NE(c1, mr.GetCounter("requests", SiteLabels(1)));
+  EXPECT_NE(c1, mr.GetCounter("rejects", SiteLabels(0)));
+  EXPECT_EQ(mr.size(), 3u);
+
+  c1->Add();
+  c1->Add(4);
+  EXPECT_EQ(c2->value(), 5u);
+}
+
+TEST(MetricsRegistryTest, LabelsDistinguishEntries) {
+  MetricsRegistry mr;
+  Counter* election = mr.GetCounter("rounds", SiteLabels(0, "election"));
+  Counter* accept = mr.GetCounter("rounds", SiteLabels(0, "accept"));
+  EXPECT_NE(election, accept);
+  election->Add(2);
+  accept->Add(7);
+  EXPECT_EQ(mr.GetCounter("rounds", SiteLabels(0, "election"))->value(), 2u);
+  EXPECT_EQ(mr.GetCounter("rounds", SiteLabels(0, "accept"))->value(), 7u);
+}
+
+TEST(MetricsRegistryTest, GaugeAndHistogram) {
+  MetricsRegistry mr;
+  mr.GetGauge("tokens_left", SiteLabels(3))->Set(123);
+  EXPECT_EQ(mr.GetGauge("tokens_left", SiteLabels(3))->value(), 123);
+
+  Histogram* h = mr.GetHistogram("round_us", SiteLabels(3));
+  h->Record(1000);
+  h->Record(3000);
+  EXPECT_EQ(mr.GetHistogram("round_us", SiteLabels(3))->count(), 2u);
+}
+
+TEST(MetricsRegistryTest, MergeAddsCountersMergesHistogramsMaxesGauges) {
+  MetricsRegistry a;
+  MetricsRegistry b;
+  a.GetCounter("sent", SiteLabels(0))->Add(10);
+  b.GetCounter("sent", SiteLabels(0))->Add(32);
+  b.GetCounter("only_in_b", SiteLabels(1))->Add(1);
+  a.GetGauge("peak", SiteLabels(0))->Set(5);
+  b.GetGauge("peak", SiteLabels(0))->Set(9);
+  a.GetHistogram("lat", SiteLabels(0))->Record(100);
+  b.GetHistogram("lat", SiteLabels(0))->Record(200);
+
+  a.Merge(b);
+  EXPECT_EQ(a.GetCounter("sent", SiteLabels(0))->value(), 42u);
+  EXPECT_EQ(a.GetCounter("only_in_b", SiteLabels(1))->value(), 1u);
+  EXPECT_EQ(a.GetGauge("peak", SiteLabels(0))->value(), 9);
+  EXPECT_EQ(a.GetHistogram("lat", SiteLabels(0))->count(), 2u);
+  // The source registry is untouched.
+  EXPECT_EQ(b.GetCounter("sent", SiteLabels(0))->value(), 32u);
+}
+
+TEST(MetricsRegistryTest, ToJsonIsSortedAndCarriesLabels) {
+  MetricsRegistry mr;
+  mr.GetCounter("zeta")->Add(1);
+  mr.GetCounter("alpha", SiteLabels(2, "election"))->Add(3);
+  MetricLabels link;
+  link.site = 0;
+  link.peer = 4;
+  mr.GetCounter("link.delivered", link)->Add(8);
+
+  const JsonValue j = mr.ToJson();
+  ASSERT_TRUE(j.is_array());
+  ASSERT_EQ(j.as_array().size(), 3u);
+  // Sorted by name first.
+  EXPECT_EQ(j.as_array()[0].GetString("name", ""), "alpha");
+  EXPECT_EQ(j.as_array()[0].GetInt("site", -1), 2);
+  EXPECT_EQ(j.as_array()[0].GetString("protocol", ""), "majority");
+  EXPECT_EQ(j.as_array()[0].GetString("round", ""), "election");
+  EXPECT_EQ(j.as_array()[0].GetInt("value", -1), 3);
+  EXPECT_EQ(j.as_array()[1].GetString("name", ""), "link.delivered");
+  EXPECT_EQ(j.as_array()[1].GetInt("peer", -1), 4);
+  // Unlabeled entries omit the label keys entirely.
+  EXPECT_EQ(j.as_array()[2].GetString("name", ""), "zeta");
+  EXPECT_EQ(j.as_array()[2].Find("site"), nullptr);
+  EXPECT_EQ(j.as_array()[2].Find("protocol"), nullptr);
+}
+
+TEST(MetricsRegistryTest, HistogramToJsonEmbeds) {
+  MetricsRegistry mr;
+  mr.GetHistogram("lat", SiteLabels(1))->Record(500);
+  const JsonValue j = mr.ToJson();
+  ASSERT_EQ(j.as_array().size(), 1u);
+  EXPECT_EQ(j.as_array()[0].GetString("kind", ""), "histogram");
+  const JsonValue* value = j.as_array()[0].Find("value");
+  ASSERT_NE(value, nullptr);
+  EXPECT_EQ(value->GetInt("count", -1), 1);
+}
+
+}  // namespace
+}  // namespace samya::obs

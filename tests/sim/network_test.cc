@@ -433,5 +433,72 @@ TEST_F(NetworkTest, StatsCountBytes) {
   EXPECT_EQ(cluster_.net().stats().messages_delivered, 2u);
 }
 
+TEST_F(NetworkTest, LinkCountersAreOffWithoutMetrics) {
+  a_->SendPing(b_->id(), "x");
+  cluster_.env().RunUntilIdle();
+  EXPECT_TRUE(cluster_.net().link_counters().empty());
+}
+
+TEST_F(NetworkTest, LinkCounterDropAccountingSumsToAttempts) {
+  obs::MetricsRegistry metrics;
+  cluster_.net().set_observability(nullptr, &metrics, nullptr);
+
+  // Exercise every lifecycle outcome: plain deliveries, a send-time loss,
+  // a send-time link cut, a delivery-time crash drop, and duplicates.
+  a_->SendPing(b_->id(), "ok");  // + pong back
+  cluster_.env().RunUntilIdle();
+
+  cluster_.net().set_loss_rate(1.0);
+  a_->SendPing(b_->id(), "lost");
+  cluster_.net().set_loss_rate(0.0);
+
+  cluster_.net().CutLink(a_->id(), c_->id());
+  a_->SendPing(c_->id(), "cut");
+  cluster_.net().ClearLinkFaults();
+
+  a_->SendPing(b_->id(), "doomed");
+  cluster_.env().Schedule(Millis(10), [&] { cluster_.net().Crash(b_->id()); });
+  cluster_.env().RunUntilIdle();
+  cluster_.net().Recover(b_->id());
+
+  cluster_.net().set_duplicate_rate(1.0);
+  a_->SendPing(b_->id(), "twice");
+  cluster_.net().set_duplicate_rate(0.0);
+  cluster_.env().RunUntilIdle();
+
+  const auto& links = cluster_.net().link_counters();
+  ASSERT_FALSE(links.empty());
+  uint64_t attempts = 0;
+  uint64_t terminal = 0;
+  for (const auto& [key, lc] : links) {
+    // The invariant per directed link: every attempted or duplicated copy
+    // meets exactly one terminal fate.
+    EXPECT_EQ(lc.attempts + lc.duplicated,
+              lc.dropped_at_send + lc.delivered + lc.dropped_at_delivery)
+        << "link " << Network::LinkKeyFrom(key) << "->"
+        << Network::LinkKeyTo(key);
+    attempts += lc.attempts;
+    terminal += lc.dropped_at_send + lc.delivered + lc.dropped_at_delivery;
+  }
+  const NetworkStats& s = cluster_.net().stats();
+  EXPECT_EQ(attempts, s.messages_sent);
+  EXPECT_EQ(terminal, s.messages_sent + s.messages_duplicated);
+
+  const auto a_to_b = links.find((static_cast<uint64_t>(a_->id() + 1) << 32) |
+                                 static_cast<uint64_t>(b_->id() + 1));
+  ASSERT_NE(a_to_b, links.end());
+  EXPECT_EQ(a_to_b->second.dropped_at_send, 1u);      // the loss
+  EXPECT_EQ(a_to_b->second.dropped_at_delivery, 1u);  // the crash drop
+  EXPECT_EQ(a_to_b->second.duplicated, 1u);
+  EXPECT_GT(a_to_b->second.bytes, 0u);
+  EXPECT_EQ(Network::LinkKeyFrom(a_to_b->first), a_->id());
+  EXPECT_EQ(Network::LinkKeyTo(a_to_b->first), b_->id());
+
+  const auto a_to_c = links.find((static_cast<uint64_t>(a_->id() + 1) << 32) |
+                                 static_cast<uint64_t>(c_->id() + 1));
+  ASSERT_NE(a_to_c, links.end());
+  EXPECT_EQ(a_to_c->second.dropped_at_send, 1u);  // the link cut
+}
+
 }  // namespace
 }  // namespace samya::sim

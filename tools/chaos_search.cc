@@ -31,6 +31,7 @@
 #include "common/json.h"
 #include "harness/chaos.h"
 #include "harness/parallel_runner.h"
+#include "obs/trace_export.h"
 
 using namespace samya;           // NOLINT — tool code
 using namespace samya::harness;  // NOLINT
@@ -74,10 +75,13 @@ std::string IntensityTag(double intensity) {
   return tag;
 }
 
+std::string CaseBasename(const std::string& corpus_dir, const ChaosCase& c) {
+  return corpus_dir + "/chaos_" + SystemIdName(c.system) + "_seed" +
+         std::to_string(c.seed) + "_i" + IntensityTag(c.intensity);
+}
+
 bool WriteCase(const std::string& corpus_dir, const ChaosCase& c) {
-  const std::string path =
-      corpus_dir + "/chaos_" + SystemIdName(c.system) + "_seed" +
-      std::to_string(c.seed) + "_i" + IntensityTag(c.intensity) + ".json";
+  const std::string path = CaseBasename(corpus_dir, c) + ".json";
   std::ofstream out(path);
   if (!out) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
@@ -86,6 +90,30 @@ bool WriteCase(const std::string& corpus_dir, const ChaosCase& c) {
   out << JsonDump(c.ToJson(), /*indent=*/2);
   std::printf("  wrote %s\n", path.c_str());
   return true;
+}
+
+/// Re-runs a (minimized) violating case with the causal tracer attached and
+/// ships the Chrome trace next to the corpus file, so every chaos violation
+/// arrives with its full causal story. Tracing rides out-of-band, so the
+/// re-run replays the identical event sequence that violated.
+void WriteViolationTrace(const std::string& corpus_dir, const ChaosCase& c,
+                         const AuditOptions& audit) {
+  ExperimentOptions opts = MakeChaosOptions(c, audit);
+  opts.obs.tracing = true;
+  opts.obs.metrics = true;
+  Experiment experiment(opts);
+  experiment.Setup();
+  const ExperimentResult r = experiment.Run();
+  const std::string path = CaseBasename(corpus_dir, c) + "_trace.json";
+  const Status st = obs::WriteChromeTrace(*r.obs->tracer(), path);
+  if (!st.ok()) {
+    std::fprintf(stderr, "cannot write trace: %s\n", st.message().c_str());
+    return;
+  }
+  std::printf("  wrote %s (%zu spans, %zu messages, reproduced %zu "
+              "violation(s))\n",
+              path.c_str(), r.obs->tracer()->spans().size(),
+              r.obs->tracer()->messages().size(), r.violations.size());
 }
 
 }  // namespace
@@ -229,6 +257,7 @@ int main(int argc, char** argv) {
     if (!corpus_dir.empty()) {
       minimized.note = "found by chaos_search; minimized by ddmin";
       WriteCase(corpus_dir, minimized);
+      WriteViolationTrace(corpus_dir, minimized, audit);
     }
   }
 

@@ -1,0 +1,419 @@
+// samya_inspect — capture and analyze observability output of one run.
+//
+// Two subcommands:
+//
+//   capture --out PREFIX [--system NAME] [--duration-s N] [--sites N]
+//           [--max-tokens N] [--seed N] [--read-ratio X] [--load-scale X]
+//     Runs one experiment with the full observability stack (metrics
+//     registry, causal tracer, event-loop profiler) and writes
+//       PREFIX_trace.json    Chrome trace-event JSON (open in Perfetto /
+//                            chrome://tracing)
+//       PREFIX_metrics.json  metrics + profiler snapshot
+//     then prints the report for the captured trace.
+//
+//   report TRACE.json
+//     Parses a previously captured Chrome trace and prints:
+//       - per-span-name latency stats (count / p50 / p99 / max, sim-time µs)
+//       - the slowest redistribution rounds with their phase critical path
+//       - per-message-type counts, drop fates, and flight-time p50
+//       - average messages per Avantan instance by type (the Table 3 view)
+//     Exits non-zero when the trace is missing, unparseable, or empty.
+//
+// Examples:
+//   samya_inspect capture --out /tmp/fig3b --system samya_any --duration-s 60
+//   samya_inspect report /tmp/fig3b_trace.json
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "harness/chaos.h"
+#include "harness/experiment.h"
+#include "obs/trace_export.h"
+
+using namespace samya;           // NOLINT — tool code
+using namespace samya::harness;  // NOLINT
+
+namespace {
+
+void Usage() {
+  std::fprintf(
+      stderr,
+      "usage: samya_inspect capture --out PREFIX [--system NAME]\n"
+      "                     [--duration-s N] [--sites N] [--max-tokens N]\n"
+      "                     [--seed N] [--read-ratio X] [--load-scale X]\n"
+      "       samya_inspect report TRACE.json\n"
+      "systems: samya_majority samya_any samya_majority_no_predict\n"
+      "         samya_any_no_predict\n");
+}
+
+// ---------------------------------------------------------------------------
+// Trace model rebuilt from the Chrome trace-event JSON.
+
+struct SpanRow {
+  std::string name;
+  std::string category;
+  int64_t pid = -1;
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+  uint64_t parent = 0;
+  int64_t start = 0;
+  int64_t end = -1;
+
+  int64_t duration() const { return end >= start ? end - start : 0; }
+};
+
+struct MsgRow {
+  std::string name;
+  int64_t from = -1;
+  int64_t to = -1;
+  int64_t bytes = 0;
+  int64_t dur = 0;
+  std::string fate;
+  uint64_t trace_id = 0;
+};
+
+struct TraceModel {
+  std::vector<SpanRow> spans;
+  std::vector<MsgRow> messages;
+  std::map<int64_t, std::string> process_names;
+};
+
+/// Rebuilds spans by pairing "b"/"e" async events. The exporter emits each
+/// span's begin immediately followed by nothing in particular, so ends are
+/// matched LIFO within the (name, cat, id, pid) key — the async-nestable
+/// stacking rule.
+bool ParseTrace(const JsonValue& doc, TraceModel* out, std::string* error) {
+  const JsonValue* events = doc.Find("traceEvents");
+  if (events == nullptr || !events->is_array()) {
+    *error = "no traceEvents array";
+    return false;
+  }
+  std::map<std::string, std::vector<size_t>> open;  // key -> span stack
+  for (const JsonValue& ev : events->as_array()) {
+    if (!ev.is_object()) continue;
+    const std::string ph = ev.GetString("ph", "");
+    if (ph == "M") {
+      if (ev.GetString("name", "") == "process_name") {
+        const JsonValue* args = ev.Find("args");
+        if (args != nullptr) {
+          out->process_names[ev.GetInt("pid", -1)] =
+              args->GetString("name", "?");
+        }
+      }
+      continue;
+    }
+    if (ph == "b") {
+      SpanRow s;
+      s.name = ev.GetString("name", "");
+      s.category = ev.GetString("cat", "");
+      s.pid = ev.GetInt("pid", -1);
+      s.trace_id = static_cast<uint64_t>(ev.GetInt("id", 0));
+      s.start = ev.GetInt("ts", 0);
+      if (const JsonValue* args = ev.Find("args")) {
+        s.span_id = static_cast<uint64_t>(args->GetInt("span", 0));
+        s.parent = static_cast<uint64_t>(args->GetInt("parent", 0));
+      }
+      const std::string key = s.name + "\x1f" + s.category + "\x1f" +
+                              std::to_string(s.trace_id) + "\x1f" +
+                              std::to_string(s.pid);
+      open[key].push_back(out->spans.size());
+      out->spans.push_back(std::move(s));
+    } else if (ph == "e") {
+      const std::string key =
+          ev.GetString("name", "") + "\x1f" + ev.GetString("cat", "") + "\x1f" +
+          std::to_string(ev.GetInt("id", 0)) + "\x1f" +
+          std::to_string(ev.GetInt("pid", -1));
+      auto it = open.find(key);
+      if (it != open.end() && !it->second.empty()) {
+        out->spans[it->second.back()].end = ev.GetInt("ts", 0);
+        it->second.pop_back();
+      }
+    } else if (ph == "X") {
+      if (ev.GetString("cat", "") != "msg") continue;
+      MsgRow m;
+      m.name = ev.GetString("name", "");
+      m.from = ev.GetInt("pid", -1);
+      m.dur = ev.GetInt("dur", 0);
+      if (const JsonValue* args = ev.Find("args")) {
+        m.to = args->GetInt("to", -1);
+        m.bytes = args->GetInt("bytes", 0);
+        m.fate = args->GetString("fate", "");
+        m.trace_id = static_cast<uint64_t>(args->GetInt("trace", 0));
+      }
+      out->messages.push_back(std::move(m));
+    }
+  }
+  if (out->spans.empty() && out->messages.empty()) {
+    *error = "trace has no spans and no messages";
+    return false;
+  }
+  return true;
+}
+
+int64_t PercentileUs(std::vector<int64_t>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  size_t idx = static_cast<size_t>(rank + 0.5);
+  if (idx >= sorted.size()) idx = sorted.size() - 1;
+  return sorted[idx];
+}
+
+void PrintSpanStats(const TraceModel& model) {
+  struct Agg {
+    std::string category;
+    std::vector<int64_t> durs;
+  };
+  std::map<std::string, Agg> by_name;
+  for (const SpanRow& s : model.spans) {
+    Agg& a = by_name[s.name];
+    a.category = s.category;
+    a.durs.push_back(s.duration());
+  }
+  std::printf("spans (sim-time µs):\n");
+  std::printf("  %-28s %-8s %8s %10s %10s %10s\n", "name", "cat", "count",
+              "p50", "p99", "max");
+  for (auto& [name, agg] : by_name) {
+    std::sort(agg.durs.begin(), agg.durs.end());
+    std::printf("  %-28s %-8s %8zu %10lld %10lld %10lld\n", name.c_str(),
+                agg.category.c_str(), agg.durs.size(),
+                static_cast<long long>(PercentileUs(agg.durs, 50)),
+                static_cast<long long>(PercentileUs(agg.durs, 99)),
+                static_cast<long long>(agg.durs.back()));
+  }
+}
+
+void PrintSlowestRounds(const TraceModel& model) {
+  std::vector<const SpanRow*> rounds;
+  for (const SpanRow& s : model.spans) {
+    if (s.category == "round") rounds.push_back(&s);
+  }
+  if (rounds.empty()) return;
+  std::sort(rounds.begin(), rounds.end(),
+            [](const SpanRow* a, const SpanRow* b) {
+              return a->duration() > b->duration();
+            });
+  // Phase children by parent span id (phases open under their instance).
+  std::multimap<uint64_t, const SpanRow*> children;
+  for (const SpanRow& s : model.spans) {
+    if (s.category == "phase" && s.parent != 0) {
+      children.emplace(s.parent, &s);
+    }
+  }
+  std::map<uint64_t, uint64_t> msgs_per_trace;
+  for (const MsgRow& m : model.messages) {
+    if (m.trace_id != 0) ++msgs_per_trace[m.trace_id];
+  }
+  const size_t n = std::min<size_t>(5, rounds.size());
+  std::printf("\nslowest %zu rounds (critical path):\n", n);
+  for (size_t i = 0; i < n; ++i) {
+    const SpanRow& r = *rounds[i];
+    std::printf("  %-26s site=%lld trace=%llu dur=%lldus msgs=%llu\n",
+                r.name.c_str(), static_cast<long long>(r.pid),
+                static_cast<unsigned long long>(r.trace_id),
+                static_cast<long long>(r.duration()),
+                static_cast<unsigned long long>(msgs_per_trace[r.trace_id]));
+    auto range = children.equal_range(r.span_id);
+    for (auto it = range.first; it != range.second; ++it) {
+      const SpanRow& ph = *it->second;
+      std::printf("    +%-8lld %-20s %lldus\n",
+                  static_cast<long long>(ph.start - r.start), ph.name.c_str(),
+                  static_cast<long long>(ph.duration()));
+    }
+  }
+}
+
+void PrintMessageStats(const TraceModel& model) {
+  struct Agg {
+    uint64_t count = 0;
+    uint64_t dropped = 0;
+    int64_t bytes = 0;
+    std::vector<int64_t> flight;
+  };
+  std::map<std::string, Agg> by_type;
+  for (const MsgRow& m : model.messages) {
+    Agg& a = by_type[m.name];
+    ++a.count;
+    a.bytes += m.bytes;
+    if (m.fate == "delivered") {
+      a.flight.push_back(m.dur);
+    } else {
+      ++a.dropped;
+    }
+  }
+  if (by_type.empty()) return;
+  std::printf("\nmessages:\n");
+  std::printf("  %-24s %10s %8s %12s %12s\n", "type", "count", "dropped",
+              "bytes", "flight p50");
+  for (auto& [name, agg] : by_type) {
+    std::sort(agg.flight.begin(), agg.flight.end());
+    std::printf("  %-24s %10llu %8llu %12lld %10lldus\n", name.c_str(),
+                static_cast<unsigned long long>(agg.count),
+                static_cast<unsigned long long>(agg.dropped),
+                static_cast<long long>(agg.bytes),
+                static_cast<long long>(PercentileUs(agg.flight, 50)));
+  }
+}
+
+/// The Table 3 view: average traced messages per completed Avantan instance,
+/// by type. A trace with an instance-category "round" span is one causal
+/// redistribution story; its messages are the protocol's cost.
+void PrintPerInstanceMessages(const TraceModel& model) {
+  std::map<uint64_t, uint64_t> instance_traces;  // trace id -> #rounds
+  for (const SpanRow& s : model.spans) {
+    if (s.category == "round" && s.name != "avantan.engage") {
+      ++instance_traces[s.trace_id];
+    }
+  }
+  if (instance_traces.empty()) return;
+  uint64_t instances = 0;
+  for (const auto& [trace, count] : instance_traces) instances += count;
+  std::map<std::string, uint64_t> per_type;
+  for (const MsgRow& m : model.messages) {
+    if (m.trace_id != 0 && instance_traces.count(m.trace_id) != 0) {
+      ++per_type[m.name];
+    }
+  }
+  std::printf("\nmessages per Avantan instance (%llu instances):\n",
+              static_cast<unsigned long long>(instances));
+  for (const auto& [name, count] : per_type) {
+    std::printf("  %-24s %8.2f\n", name.c_str(),
+                static_cast<double>(count) / static_cast<double>(instances));
+  }
+}
+
+int Report(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "samya_inspect: cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::stringstream buf;
+  buf << in.rdbuf();
+  auto parsed = JsonParse(buf.str());
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "samya_inspect: %s: %s\n", path.c_str(),
+                 parsed.status().message().c_str());
+    return 1;
+  }
+  TraceModel model;
+  std::string error;
+  if (!ParseTrace(*parsed, &model, &error)) {
+    std::fprintf(stderr, "samya_inspect: %s: %s\n", path.c_str(),
+                 error.c_str());
+    return 1;
+  }
+  std::printf("%s: %zu spans, %zu messages, %zu processes\n\n", path.c_str(),
+              model.spans.size(), model.messages.size(),
+              model.process_names.size());
+  for (const auto& [pid, name] : model.process_names) {
+    std::printf("  pid %lld: %s\n", static_cast<long long>(pid), name.c_str());
+  }
+  std::printf("\n");
+  PrintSpanStats(model);
+  PrintSlowestRounds(model);
+  PrintMessageStats(model);
+  PrintPerInstanceMessages(model);
+  return 0;
+}
+
+int Capture(int argc, char** argv) {
+  std::string out_prefix;
+  ExperimentOptions opts;
+  opts.duration = Seconds(60);
+  opts.obs = obs::ObsOptions::All();
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        Usage();
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--out") {
+      out_prefix = next();
+    } else if (arg == "--system") {
+      const std::string name = next();
+      if (!SystemKindFromId(name, &opts.system)) {
+        std::fprintf(stderr, "unknown system: %s\n", name.c_str());
+        return 2;
+      }
+    } else if (arg == "--duration-s") {
+      opts.duration = Seconds(std::atoi(next()));
+    } else if (arg == "--sites") {
+      opts.num_sites = std::atoi(next());
+    } else if (arg == "--max-tokens") {
+      opts.max_tokens = std::atoll(next());
+    } else if (arg == "--seed") {
+      opts.seed = static_cast<uint64_t>(std::atoll(next()));
+    } else if (arg == "--read-ratio") {
+      opts.read_ratio = std::atof(next());
+    } else if (arg == "--load-scale") {
+      opts.load_scale = std::atof(next());
+    } else {
+      Usage();
+      return 2;
+    }
+  }
+  if (out_prefix.empty()) {
+    std::fprintf(stderr, "samya_inspect capture: --out PREFIX is required\n");
+    return 2;
+  }
+
+  Experiment experiment(opts);
+  experiment.Setup();
+  const ExperimentResult result = experiment.Run();
+  std::printf("captured: %llu committed, %llu instances, %llu events\n",
+              static_cast<unsigned long long>(result.aggregate.TotalCommitted()),
+              static_cast<unsigned long long>(result.instances_completed),
+              static_cast<unsigned long long>(result.events_executed));
+
+  const std::string trace_path = out_prefix + "_trace.json";
+  Status st = obs::WriteChromeTrace(*result.obs->tracer(), trace_path);
+  if (!st.ok()) {
+    std::fprintf(stderr, "samya_inspect: %s\n", st.message().c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", trace_path.c_str());
+
+  const std::string metrics_path = out_prefix + "_metrics.json";
+  std::ofstream mout(metrics_path);
+  if (!mout) {
+    std::fprintf(stderr, "samya_inspect: cannot write %s\n",
+                 metrics_path.c_str());
+    return 1;
+  }
+  mout << JsonDump(BuildMetricsSnapshot(result), /*indent=*/2);
+  mout.close();
+  std::printf("wrote %s\n\n", metrics_path.c_str());
+
+  return Report(trace_path);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    Usage();
+    return 2;
+  }
+  const std::string cmd = argv[1];
+  if (cmd == "capture") return Capture(argc - 2, argv + 2);
+  if (cmd == "report") {
+    if (argc != 3) {
+      Usage();
+      return 2;
+    }
+    return Report(argv[2]);
+  }
+  Usage();
+  return cmd == "--help" || cmd == "-h" ? 0 : 2;
+}
