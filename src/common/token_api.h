@@ -25,6 +25,12 @@ namespace samya {
 
 inline constexpr uint32_t kMsgTokenRequest = 10;
 inline constexpr uint32_t kMsgTokenResponse = 11;
+/// Batched form of kMsgTokenRequest (app manager -> site, DESIGN.md §9):
+/// [varint count][count x encoded TokenRequest]. The receiver serves each
+/// contained request exactly as if it had arrived alone — per-request
+/// replies, queueing, and at-most-once dedup all apply unchanged — so
+/// batching only amortizes the message count, never changes semantics.
+inline constexpr uint32_t kMsgTokenBatchRequest = 12;
 
 /// The paper's transaction types (§3.2) plus the read-only global-snapshot
 /// transaction of §5.8.

@@ -254,6 +254,15 @@ void Site::HandleMessage(sim::NodeId from, uint32_t type, BufferReader& r) {
     case kMsgTokenRequest:
       OnClientRequest(from, r);
       break;
+    case kMsgTokenBatchRequest: {
+      // An app manager coalesced same-site requests into one message. Serve
+      // each exactly as if it had arrived alone: per-request replies, queue
+      // freezes, and at-most-once dedup all run per contained request.
+      auto count = r.GetVarint();
+      if (!count.ok()) break;
+      for (uint64_t i = 0; i < *count; ++i) OnClientRequest(from, r);
+      break;
+    }
     case kMsgElectionGetValue:
       OnElectionGetValue(from, ElectionGetValue::DecodeFrom(r).value());
       break;

@@ -313,6 +313,7 @@ ExperimentResult Experiment::Run() {
     const ClientStats& s = client->stats();
     result.per_client.push_back(s);
     result.aggregate.latency.Merge(s.latency);
+    result.aggregate.acquire_latency.Merge(s.acquire_latency);
     result.aggregate.committed_acquires += s.committed_acquires;
     result.aggregate.committed_releases += s.committed_releases;
     result.aggregate.committed_reads += s.committed_reads;

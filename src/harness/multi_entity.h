@@ -1,0 +1,126 @@
+#ifndef SAMYA_HARNESS_MULTI_ENTITY_H_
+#define SAMYA_HARNESS_MULTI_ENTITY_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/json.h"
+#include "core/site.h"
+#include "harness/workload_client.h"
+#include "obs/metrics.h"
+#include "workload/azure_generator.h"
+
+namespace samya::harness {
+
+/// \brief Multi-entity scale-out harness (DESIGN.md §9).
+///
+/// §3.1's deployment model: every entity (resource type) e has its own group
+/// of sites value-partitioning its own token pool M_e, and a run-time
+/// directory service maps entities to per-region endpoints. Token pools of
+/// different entities never interact — Eq. 1 is per entity — so the
+/// deployment is embarrassingly parallel across entities. This harness
+/// exploits that: each entity becomes one self-contained shard simulation
+/// (own `sim::Cluster`, sites, app managers, `EntityDirectory` +
+/// per-region `EntityRouter` front doors, and regional workload clients),
+/// and shards execute across `parallel_runner` workers.
+///
+/// Determinism contract: a shard's RNG stream is derived from
+/// (seed, entity) only, and shards share no mutable state, so the sharded
+/// run's per-entity results are bit-identical to running the shards
+/// serially in entity order — regardless of worker count or scheduling.
+/// Verified by tests/harness/multi_entity_test.cc and the CI smoke.
+struct MultiEntityOptions {
+  int num_entities = 10;             ///< E
+  int sites_per_entity = 5;          ///< sites in each entity's group
+  int64_t tokens_per_entity = 5000;  ///< the per-entity global limit M_e
+  Duration duration = Minutes(10);   ///< measured load window per shard
+  uint64_t seed = 42;
+
+  /// Offered load per entity as a multiplier over the base Azure trace.
+  /// Benches map "simulated users" onto this (see EXPERIMENTS.md).
+  double load_scale = 1.0;
+  double read_ratio = 0.0;
+  workload::AzureTraceOptions trace;  ///< per-entity variation via the seed
+  int64_t compress_factor = 60;
+
+  // Client behaviour (five regional clients per entity).
+  Duration client_timeout = Seconds(3);
+  int client_attempts = 2;
+
+  // App-manager request batching (DESIGN.md §9): coalesce same-entity
+  // requests that arrive within the window into one kMsgTokenBatchRequest.
+  bool batch_requests = false;
+  Duration batch_window = Millis(2);
+  size_t max_batch = 128;
+
+  core::SiteOptions site_template;  ///< timers/ablation defaults for sites
+
+  /// Collect a per-shard MetricsRegistry ("entity.*" families labelled by
+  /// entity id) and fold them in entity order into
+  /// `MultiEntityResult::metrics` via `MetricsRegistry::Merge`.
+  bool collect_metrics = false;
+
+  /// Worker threads for sharded execution: 1 = serial reference, 0 =
+  /// hardware default (SAMYA_BENCH_THREADS overrides).
+  int threads = 0;
+};
+
+/// Deterministic measurements of one entity's shard.
+struct EntityShardResult {
+  uint32_t entity = 0;
+  /// Merged over the shard's regional clients (counters and latency
+  /// histograms; the per-second series stays per client).
+  ClientStats clients;
+  uint64_t events_executed = 0;
+  uint64_t messages_sent = 0;
+  uint64_t bytes_sent = 0;
+  uint64_t routed = 0;          ///< requests the entity routers forwarded
+  uint64_t unknown_entity = 0;  ///< router rejections (wrong-entity traffic)
+  uint64_t am_relayed = 0;
+  uint64_t batches_sent = 0;
+  uint64_t batched_requests = 0;
+  int64_t tokens_left = 0;  ///< sum over the group; conservation input
+  uint64_t redistributions = 0;
+  /// Per-shard registry; set iff `collect_metrics` was on.
+  std::shared_ptr<obs::MetricsRegistry> metrics;
+
+  /// Full deterministic snapshot (counters + latency histograms). Two runs
+  /// of the same shard are equivalent iff these compare equal — the
+  /// serial-vs-sharded checks diff this, not a lossy summary.
+  JsonValue ToJson() const;
+};
+
+/// Aggregate of a multi-entity run.
+struct MultiEntityResult {
+  std::vector<EntityShardResult> per_entity;  ///< indexed by entity id
+  ClientStats aggregate;                      ///< folded over entities
+  uint64_t events_executed = 0;
+  uint64_t messages_sent = 0;
+  uint64_t bytes_sent = 0;
+  uint64_t am_relayed = 0;
+  uint64_t batches_sent = 0;
+  uint64_t batched_requests = 0;
+  /// Folded per-entity registries (entity order); null unless
+  /// `collect_metrics`.
+  std::shared_ptr<obs::MetricsRegistry> metrics;
+
+  /// Network messages per client-issued request — the batching headline.
+  double MessagesPerRequest() const {
+    return aggregate.sent == 0 ? 0.0
+                               : static_cast<double>(messages_sent) /
+                                     static_cast<double>(aggregate.sent);
+  }
+};
+
+/// Runs entity `entity`'s shard to completion. Deterministic in
+/// (opts, entity) alone; safe to call concurrently for distinct entities.
+EntityShardResult RunEntityShard(const MultiEntityOptions& opts,
+                                 uint32_t entity);
+
+/// Runs all E shards (serially when `opts.threads == 1`, else across the
+/// worker pool) and folds per-entity results in entity order.
+MultiEntityResult RunMultiEntity(const MultiEntityOptions& opts);
+
+}  // namespace samya::harness
+
+#endif  // SAMYA_HARNESS_MULTI_ENTITY_H_

@@ -20,13 +20,37 @@ int DefaultRunnerThreads() {
   return hw == 0 ? 1 : static_cast<int>(hw);
 }
 
+void RunIndexed(size_t n, int threads, const std::function<void(size_t)>& fn) {
+  if (threads <= 0) threads = DefaultRunnerThreads();
+  if (threads == 1 || n <= 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  // Work-stealing by atomic index: each worker claims the next task. Tasks
+  // are independent (caller's contract), so no synchronisation beyond the
+  // claim counter is needed.
+  std::atomic<size_t> next{0};
+  auto worker = [&]() {
+    for (;;) {
+      const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      fn(i);
+    }
+  };
+
+  const size_t num_workers = std::min(static_cast<size_t>(threads), n);
+  std::vector<std::thread> pool;
+  pool.reserve(num_workers);
+  for (size_t t = 0; t < num_workers; ++t) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
+}
+
 std::vector<ExperimentResult> RunAll(std::vector<ExperimentOptions> options,
                                      int threads) {
-  if (threads <= 0) threads = DefaultRunnerThreads();
   const size_t n = options.size();
   std::vector<ExperimentResult> results(n);
-
-  auto run_one = [&](size_t i) {
+  RunIndexed(n, threads, [&](size_t i) {
     // Tag this thread's log lines with the run it is executing so
     // interleaved worker output stays attributable.
     Logger::SetThreadPrefix("run " + std::to_string(i));
@@ -34,31 +58,7 @@ std::vector<ExperimentResult> RunAll(std::vector<ExperimentOptions> options,
     experiment.Setup();
     results[i] = experiment.Run();
     Logger::SetThreadPrefix("");
-  };
-
-  if (threads == 1 || n <= 1) {
-    for (size_t i = 0; i < n; ++i) run_one(i);
-    return results;
-  }
-
-  // Work-stealing by atomic index: each worker claims the next experiment.
-  // Experiments are independent and each owns its whole simulation, so no
-  // synchronisation beyond the claim counter is needed.
-  std::atomic<size_t> next{0};
-  auto worker = [&]() {
-    for (;;) {
-      const size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= n) return;
-      run_one(i);
-    }
-  };
-
-  const size_t num_workers =
-      std::min(static_cast<size_t>(threads), n);
-  std::vector<std::thread> pool;
-  pool.reserve(num_workers);
-  for (size_t t = 0; t < num_workers; ++t) pool.emplace_back(worker);
-  for (std::thread& t : pool) t.join();
+  });
   return results;
 }
 

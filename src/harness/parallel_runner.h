@@ -1,11 +1,23 @@
 #ifndef SAMYA_HARNESS_PARALLEL_RUNNER_H_
 #define SAMYA_HARNESS_PARALLEL_RUNNER_H_
 
+#include <functional>
 #include <vector>
 
 #include "harness/experiment.h"
 
 namespace samya::harness {
+
+/// \brief Runs `fn(0) .. fn(n-1)` across a pool of `threads` workers
+/// (work-stealing by atomic claim; `threads <= 0` resolves like `RunAll`).
+///
+/// The generic engine under `RunAll` and the multi-entity shard runner.
+/// Determinism contract: callers must make each `fn(i)` self-contained —
+/// the function owns all state it touches apart from writing its own,
+/// index-addressed result slot. Under that contract the outcome is
+/// bit-identical to the serial loop `for (i in 0..n-1) fn(i)` regardless of
+/// thread count or scheduling, because no execution order is observable.
+void RunIndexed(size_t n, int threads, const std::function<void(size_t)>& fn);
 
 /// \brief Multi-core runner for sweeps of independent experiments.
 ///

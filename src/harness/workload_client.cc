@@ -77,6 +77,7 @@ void WorkloadClient::IssueNext() {
     }
     Outstanding out;
     out.request.request_id = next_request_id_++;
+    out.request.entity = opts_.entity;
     out.request.amount = r.amount;
     switch (r.type) {
       case workload::Request::Type::kAcquire:
@@ -159,6 +160,7 @@ void WorkloadClient::HandleMessage(sim::NodeId from, uint32_t type,
       switch (out.request.op) {
         case TokenOp::kAcquire:
           ++stats_.committed_acquires;
+          stats_.acquire_latency.Record(Now() - out.first_sent);
           balance_ += out.request.amount;
           break;
         case TokenOp::kRelease:

@@ -15,6 +15,7 @@ namespace samya::harness {
 /// Per-client measurement results; the raw material of every table/figure.
 struct ClientStats {
   Histogram latency;            ///< commit latency (µs), committed txns only
+  Histogram acquire_latency;    ///< commit latency of acquires alone
   RateSeries committed{Seconds(1)};  ///< committed txns per second
   uint64_t committed_acquires = 0;
   uint64_t committed_releases = 0;
@@ -45,6 +46,10 @@ struct WorkloadClientOptions {
   /// request latency rather than trace arrival rate.
   bool closed_loop = false;
   int window = 4;
+  /// Entity (resource type, §3.2) stamped on every request this client
+  /// issues. Multi-entity deployments route on it (EntityRouter); the
+  /// default 0 is the single-entity convention used everywhere else.
+  uint32_t entity = 0;
 };
 
 /// \brief Trace-driven open-loop client (§5.2: one per region, all issuing

@@ -31,14 +31,19 @@ Status SeasonalNaivePredictor::Train(const std::vector<double>& series) {
 }
 
 void SeasonalNaivePredictor::Observe(double value) {
-  history_.push_back(value);
+  if (ring_.size() < period_) {
+    ring_.push_back(value);
+  } else if (period_ > 0) {
+    ring_[oldest_] = value;
+    oldest_ = (oldest_ + 1) % period_;
+  }
   level_.Observe(value);
 }
 
 double SeasonalNaivePredictor::PredictNext() {
-  if (history_.size() < period_) return level_.PredictNext();
-  // The value one season ahead of now is history[size - period].
-  const double seasonal = history_[history_.size() - period_];
+  if (period_ == 0 || ring_.size() < period_) return level_.PredictNext();
+  // The value one season ahead of now is the oldest one in the ring.
+  const double seasonal = ring_[oldest_];
   const double level = level_.PredictNext();
   const double p = blend_ * seasonal + (1 - blend_) * level;
   return p < 0 ? 0 : p;

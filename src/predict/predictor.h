@@ -66,16 +66,27 @@ class EwmaPredictor : public DemandPredictor {
 class SeasonalNaivePredictor : public DemandPredictor {
  public:
   explicit SeasonalNaivePredictor(size_t period, double blend = 0.6)
-      : period_(period), blend_(blend) {}
+      : period_(period), blend_(blend) {
+    ring_.reserve(period_);
+  }
   Status Train(const std::vector<double>& series) override;
   void Observe(double value) override;
   double PredictNext() override;
   std::string name() const override { return "seasonal_naive"; }
 
+  /// Observations currently held; never exceeds `period` (steady-state
+  /// memory is O(period) regardless of how long the site runs).
+  size_t history_size() const { return ring_.size(); }
+  size_t history_capacity() const { return ring_.capacity(); }
+
  private:
   size_t period_;
   double blend_;
-  std::vector<double> history_;
+  /// Ring of the last `period_` observations: only the value one season
+  /// back is ever read, so older history would just leak on long runs.
+  /// `oldest_` indexes the season-old value (the next slot to overwrite).
+  std::vector<double> ring_;
+  size_t oldest_ = 0;
   EwmaPredictor level_{0.4};
 };
 

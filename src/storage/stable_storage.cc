@@ -50,7 +50,9 @@ Result<std::unique_ptr<FileStableStorage>> FileStableStorage::Open(
     const std::string& path, size_t compaction_threshold) {
   std::unique_ptr<FileStableStorage> store(
       new FileStableStorage(path, compaction_threshold));
-  SAMYA_ASSIGN_OR_RETURN(auto records, WriteAheadLog::ReadAll(path));
+  size_t discarded_bytes = 0;
+  SAMYA_ASSIGN_OR_RETURN(auto records,
+                         WriteAheadLog::ReadAll(path, &discarded_bytes));
   for (const auto& rec : records) {
     BufferReader r(rec);
     SAMYA_ASSIGN_OR_RETURN(uint8_t op, r.GetU8());
@@ -65,14 +67,22 @@ Result<std::unique_ptr<FileStableStorage>> FileStableStorage::Open(
     }
   }
   store->log_records_ = records.size();
+  if (discarded_bytes > 0) {
+    // A crashed writer left a torn/corrupt tail. `WriteAheadLog::Open`
+    // appends at the end of the file, so without truncating here every
+    // record written from now on would sit behind the garbage bytes and
+    // `ReadAll` (which stops at the first bad record) would never see it
+    // again. Rewrite the log to exactly the intact prefix first.
+    SAMYA_RETURN_IF_ERROR(WriteAheadLog::Rewrite(path, records));
+  }
   SAMYA_ASSIGN_OR_RETURN(store->wal_, WriteAheadLog::Open(path));
   return store;
 }
 
 FileStableStorage::~FileStableStorage() = default;
 
-Status FileStableStorage::AppendOp(uint8_t op, const std::string& key,
-                                   const std::vector<uint8_t>& value) {
+Status FileStableStorage::AppendRecord(uint8_t op, const std::string& key,
+                                       const std::vector<uint8_t>& value) {
   BufferWriter w;
   w.PutU8(op);
   w.PutString(key);
@@ -82,7 +92,7 @@ Status FileStableStorage::AppendOp(uint8_t op, const std::string& key,
   SAMYA_RETURN_IF_ERROR(wal_->Append(w.buffer()));
   SAMYA_RETURN_IF_ERROR(wal_->Sync());
   ++log_records_;
-  return MaybeCompact();
+  return Status::OK();
 }
 
 Status FileStableStorage::MaybeCompact() {
@@ -108,9 +118,12 @@ Status FileStableStorage::MaybeCompact() {
 
 Status FileStableStorage::Put(const std::string& key,
                               const std::vector<uint8_t>& value) {
-  SAMYA_RETURN_IF_ERROR(AppendOp(kOpPut, key, value));
+  SAMYA_RETURN_IF_ERROR(AppendRecord(kOpPut, key, value));
+  // Apply to the map *before* compaction may run: a compaction triggered by
+  // this very append rewrites the log from the map, and rewriting from the
+  // pre-op map would silently drop the record that was just synced.
   map_[key] = value;
-  return Status::OK();
+  return MaybeCompact();
 }
 
 Result<std::vector<uint8_t>> FileStableStorage::Get(
@@ -121,9 +134,9 @@ Result<std::vector<uint8_t>> FileStableStorage::Get(
 }
 
 Status FileStableStorage::Delete(const std::string& key) {
-  SAMYA_RETURN_IF_ERROR(AppendOp(kOpDelete, key, {}));
+  SAMYA_RETURN_IF_ERROR(AppendRecord(kOpDelete, key, {}));
   map_.erase(key);
-  return Status::OK();
+  return MaybeCompact();
 }
 
 std::vector<std::string> FileStableStorage::Keys() const {

@@ -66,8 +66,12 @@ class FileStableStorage : public StableStorage {
   FileStableStorage(std::string path, size_t threshold)
       : path_(std::move(path)), compaction_threshold_(threshold) {}
 
-  Status AppendOp(uint8_t op, const std::string& key,
-                  const std::vector<uint8_t>& value);
+  /// Appends + syncs one op record. Compaction is the caller's job (via
+  /// `MaybeCompact`), and only after the op is applied to `map_`: the
+  /// compacted log is rewritten from the map, so compacting before the map
+  /// reflects the new op would drop the just-synced record.
+  Status AppendRecord(uint8_t op, const std::string& key,
+                      const std::vector<uint8_t>& value);
   Status MaybeCompact();
 
   std::string path_;

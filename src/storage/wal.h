@@ -18,9 +18,20 @@ namespace samya::storage {
 /// `ReadAll` replays every intact record and stops at the first torn or
 /// corrupt record (a crashed writer's partial tail), reporting how many bytes
 /// were discarded — the standard RocksDB/LevelDB recovery contract.
+///
+/// Recovery contract (torn-tail truncation): `Open` appends at the physical
+/// end of the file, garbage included. After a crash left a torn/corrupt tail,
+/// the owner must truncate the log back to the intact prefix *before*
+/// reopening for append — `ReadAll` with `discarded_bytes`, then `Rewrite`
+/// with the intact records when `discarded_bytes > 0` — or every subsequent
+/// append lands behind the garbage and is permanently unreadable (`ReadAll`
+/// stops at the torn record forever). `FileStableStorage::Open` implements
+/// exactly this sequence.
 class WriteAheadLog {
  public:
-  /// Opens (creating if absent) the log at `path` for appending.
+  /// Opens (creating if absent) the log at `path` for appending. Appends go
+  /// to the physical end of the file: callers must have truncated any torn
+  /// tail first (see the recovery contract above).
   static Result<std::unique_ptr<WriteAheadLog>> Open(const std::string& path);
 
   ~WriteAheadLog();

@@ -1,0 +1,131 @@
+#include "harness/multi_entity.h"
+
+#include <gtest/gtest.h>
+
+#include "common/json.h"
+
+namespace samya::harness {
+namespace {
+
+MultiEntityOptions SmallOptions() {
+  MultiEntityOptions opts;
+  opts.num_entities = 4;
+  opts.sites_per_entity = 5;
+  opts.tokens_per_entity = 2000;
+  opts.duration = Minutes(2);
+  opts.seed = 11;
+  opts.trace.days = 1;
+  opts.trace.mean_rate = 40;
+  opts.site_template.enable_prediction = false;
+  return opts;
+}
+
+TEST(MultiEntityTest, ShardsCommitAndConserveTokens) {
+  MultiEntityOptions opts = SmallOptions();
+  opts.threads = 1;
+  MultiEntityResult result = RunMultiEntity(opts);
+  ASSERT_EQ(result.per_entity.size(), 4u);
+  for (const EntityShardResult& shard : result.per_entity) {
+    EXPECT_GT(shard.clients.committed_acquires, 0u);
+    EXPECT_EQ(shard.unknown_entity, 0u);
+    // Eq. 1 per entity: tokens still at sites plus net client-held tokens
+    // equal M_e (failure-free drained run; dropped requests are the only
+    // slack, and this config has none).
+    EXPECT_EQ(shard.clients.dropped, 0u);
+    EXPECT_EQ(shard.tokens_left +
+                  static_cast<int64_t>(shard.clients.committed_acquires) -
+                  static_cast<int64_t>(shard.clients.committed_releases),
+              opts.tokens_per_entity);
+  }
+  // Entities run distinct workload streams: at least one pair must differ.
+  bool any_differ = false;
+  for (size_t i = 1; i < result.per_entity.size(); ++i) {
+    if (JsonDump(result.per_entity[i].ToJson()) !=
+        JsonDump(result.per_entity[0].ToJson())) {
+      any_differ = true;
+    }
+  }
+  EXPECT_TRUE(any_differ);
+}
+
+TEST(MultiEntityTest, ShardedRunIsBitIdenticalToSerial) {
+  MultiEntityOptions opts = SmallOptions();
+  opts.num_entities = 6;
+  opts.threads = 1;
+  MultiEntityResult serial = RunMultiEntity(opts);
+  opts.threads = 4;
+  MultiEntityResult sharded = RunMultiEntity(opts);
+
+  ASSERT_EQ(serial.per_entity.size(), sharded.per_entity.size());
+  for (size_t i = 0; i < serial.per_entity.size(); ++i) {
+    EXPECT_EQ(JsonDump(serial.per_entity[i].ToJson()),
+              JsonDump(sharded.per_entity[i].ToJson()))
+        << "entity " << i << " diverged between serial and sharded runs";
+  }
+  EXPECT_EQ(serial.events_executed, sharded.events_executed);
+  EXPECT_EQ(serial.messages_sent, sharded.messages_sent);
+  EXPECT_EQ(serial.aggregate.committed_acquires,
+            sharded.aggregate.committed_acquires);
+}
+
+TEST(MultiEntityTest, BatchingReducesMessagesPerRequest) {
+  MultiEntityOptions opts = SmallOptions();
+  opts.num_entities = 2;
+  opts.trace.mean_rate = 400;  // enough fan-in to fill batch windows
+  opts.threads = 2;
+  MultiEntityResult unbatched = RunMultiEntity(opts);
+  opts.batch_requests = true;
+  opts.batch_window = Millis(5);
+  MultiEntityResult batched = RunMultiEntity(opts);
+
+  // Near-identical committed work either way: batching preserves
+  // per-request semantics but delays delivery by up to the window, so a
+  // handful of requests near rejection/timeout boundaries may land
+  // differently. What must not change is the order of magnitude of
+  // committed work — and the wire cost must strictly drop.
+  const double committed_ratio =
+      static_cast<double>(batched.aggregate.committed_acquires) /
+      static_cast<double>(unbatched.aggregate.committed_acquires);
+  EXPECT_GT(committed_ratio, 0.99);
+  EXPECT_LT(committed_ratio, 1.01);
+  EXPECT_GT(batched.batches_sent, 0u);
+  EXPECT_GT(batched.batched_requests, batched.batches_sent);
+  EXPECT_LT(batched.MessagesPerRequest(), unbatched.MessagesPerRequest());
+}
+
+TEST(MultiEntityTest, MetricsFoldAcrossShards) {
+  MultiEntityOptions opts = SmallOptions();
+  opts.num_entities = 3;
+  opts.collect_metrics = true;
+  opts.threads = 2;
+  MultiEntityResult result = RunMultiEntity(opts);
+  ASSERT_NE(result.metrics, nullptr);
+  uint64_t from_metrics = 0;
+  for (const EntityShardResult& shard : result.per_entity) {
+    ASSERT_NE(shard.metrics, nullptr);
+    obs::MetricLabels l;
+    l.site = static_cast<int32_t>(shard.entity);
+    // The folded registry carries each entity's counter unchanged.
+    from_metrics += result.metrics
+                        ->GetCounter("entity.committed_acquires", l)
+                        ->value();
+  }
+  EXPECT_EQ(from_metrics, result.aggregate.committed_acquires);
+}
+
+TEST(MultiEntityTest, NonZeroEntityIdRoutesThroughDirectory) {
+  // Clients stamp the shard's entity id on every request and the routers
+  // resolve it through the directory — so a shard for entity 7 commits its
+  // whole workload with zero unknown-entity rejections. (Rejection of a
+  // genuinely unknown id is covered by tests/core/directory_test.cc.)
+  MultiEntityOptions opts = SmallOptions();
+  opts.num_entities = 1;
+  EntityShardResult shard = RunEntityShard(opts, /*entity=*/7);
+  EXPECT_GT(shard.clients.committed_acquires, 0u);
+  EXPECT_GT(shard.routed, 0u);
+  EXPECT_EQ(shard.unknown_entity, 0u);
+  EXPECT_EQ(shard.entity, 7u);
+}
+
+}  // namespace
+}  // namespace samya::harness

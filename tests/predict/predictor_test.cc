@@ -65,6 +65,43 @@ TEST(SeasonalNaiveTest, RejectsZeroPeriod) {
   EXPECT_FALSE(p.Train({1}).ok());
 }
 
+// Regression: Observe used to grow an unbounded history vector even though
+// only the last `period` values are ever read — a site observing one epoch
+// every 5 seconds leaked memory for the whole run. Steady-state memory must
+// stay O(period).
+TEST(SeasonalNaiveTest, HistoryMemoryIsBoundedByPeriod) {
+  constexpr size_t kPeriod = 16;
+  SeasonalNaivePredictor p(kPeriod);
+  for (int i = 0; i < 100000; ++i) p.Observe(i % 97);
+  EXPECT_EQ(p.history_size(), kPeriod);
+  EXPECT_LT(p.history_capacity(), 2 * kPeriod + 1);
+}
+
+// The ring must predict exactly what the unbounded-history implementation
+// predicted: seasonal component = the value one season back.
+TEST(SeasonalNaiveTest, RingMatchesUnboundedReference) {
+  constexpr size_t kPeriod = 7;
+  SeasonalNaivePredictor ring(kPeriod, /*blend=*/0.6);
+  EwmaPredictor level(0.4);  // mirrors the predictor's internal level EWMA
+  std::vector<double> history;  // the old implementation's state
+  Rng rng(99);
+  for (int i = 0; i < 500; ++i) {
+    const double v = 50 + 40 * std::sin(2 * M_PI * i / 7.0) + rng.Gaussian(0, 3);
+    ring.Observe(v);
+    history.push_back(v);
+    level.Observe(v);
+    double expected;
+    if (history.size() < kPeriod) {
+      expected = level.PredictNext();
+    } else {
+      const double seasonal = history[history.size() - kPeriod];
+      const double blended = 0.6 * seasonal + 0.4 * level.PredictNext();
+      expected = blended < 0 ? 0 : blended;
+    }
+    ASSERT_DOUBLE_EQ(ring.PredictNext(), expected) << "at step " << i;
+  }
+}
+
 TEST(SeasonalNaiveTest, BeatsRandomWalkOnPeriodicSeries) {
   Rng rng(31);
   std::vector<double> y;

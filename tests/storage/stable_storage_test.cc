@@ -97,6 +97,81 @@ TEST_F(FileStableStorageTest, CompactionPreservesState) {
   EXPECT_EQ((*s)->GetString("cold").value(), "stays");
 }
 
+// Regression: a compaction triggered by a Put used to rewrite the log from
+// the map *before* that Put was applied to it, silently dropping the
+// just-synced record — a crash (here: close/reopen) then lost a committed
+// write. Threshold 4 with one hot key makes the 5th Put the compaction
+// trigger, so the lost record is exactly the last one.
+TEST_F(FileStableStorageTest, CompactionTriggeredByPutKeepsThatPut) {
+  {
+    auto s = FileStableStorage::Open(path_, /*compaction_threshold=*/4);
+    ASSERT_TRUE(s.ok());
+    for (int i = 0; i <= 4; ++i) {
+      ASSERT_TRUE((*s)->PutString("k", std::to_string(i)).ok());
+    }
+    // The 5th append crossed the threshold: the log must have been compacted
+    // down to the live map, and the compacted log must contain the 5th value.
+    auto records = WriteAheadLog::ReadAll(path_);
+    ASSERT_TRUE(records.ok());
+    EXPECT_EQ(records->size(), 1u);
+  }
+  auto s = FileStableStorage::Open(path_, 4);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ((*s)->GetString("k").value(), "4");
+}
+
+// Same ordering bug, Delete flavour: a compaction triggered by a Delete used
+// to rewrite the deleted key back into the log from the stale map.
+TEST_F(FileStableStorageTest, CompactionTriggeredByDeleteKeepsTheDelete) {
+  {
+    auto s = FileStableStorage::Open(path_, /*compaction_threshold=*/4);
+    ASSERT_TRUE(s.ok());
+    ASSERT_TRUE((*s)->PutString("doomed", "x").ok());
+    for (int i = 0; i < 3; ++i) {
+      ASSERT_TRUE((*s)->PutString("other", std::to_string(i)).ok());
+    }
+    ASSERT_TRUE((*s)->Delete("doomed").ok());  // 5th record: triggers compact
+  }
+  auto s = FileStableStorage::Open(path_, 4);
+  ASSERT_TRUE(s.ok());
+  EXPECT_FALSE((*s)->Get("doomed").ok());
+  EXPECT_EQ((*s)->GetString("other").value(), "2");
+}
+
+// Regression: Open used to reopen the log for append *without* truncating a
+// torn/corrupt tail, so every record written after the crash sat behind the
+// garbage bytes and ReadAll (which stops at the first bad record) discarded
+// them all on the next reopen.
+TEST_F(FileStableStorageTest, AppendsAfterTornTailSurviveReopen) {
+  {
+    auto s = FileStableStorage::Open(path_);
+    ASSERT_TRUE(s.ok());
+    ASSERT_TRUE((*s)->PutString("a", "1").ok());
+    ASSERT_TRUE((*s)->PutString("b", "2").ok());
+  }
+  // Crash mid-append: a partial header lands at the end of the file.
+  {
+    std::FILE* f = std::fopen(path_.c_str(), "ab");
+    ASSERT_NE(f, nullptr);
+    const uint8_t garbage[5] = {0xde, 0xad, 0xbe, 0xef, 0x01};
+    ASSERT_EQ(std::fwrite(garbage, 1, sizeof(garbage), f), sizeof(garbage));
+    std::fclose(f);
+  }
+  {
+    auto s = FileStableStorage::Open(path_);
+    ASSERT_TRUE(s.ok());
+    EXPECT_EQ((*s)->GetString("a").value(), "1");
+    EXPECT_EQ((*s)->GetString("b").value(), "2");
+    ASSERT_TRUE((*s)->PutString("c", "3").ok());
+  }
+  // The tail was truncated before appending, so the new record is readable.
+  auto s = FileStableStorage::Open(path_);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ((*s)->GetString("a").value(), "1");
+  EXPECT_EQ((*s)->GetString("b").value(), "2");
+  EXPECT_EQ((*s)->GetString("c").value(), "3");
+}
+
 TEST_F(FileStableStorageTest, EmptyValueRoundTrips) {
   {
     auto s = FileStableStorage::Open(path_);
