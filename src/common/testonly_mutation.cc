@@ -1,0 +1,53 @@
+#include "common/testonly_mutation.h"
+
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+
+namespace samya {
+
+namespace {
+
+std::mutex g_mutex;
+
+const std::set<std::string>& EnvMutations() {
+  static const std::set<std::string>* parsed = [] {
+    auto* out = new std::set<std::string>();
+    const char* env = std::getenv("SAMYA_TESTONLY_MUTATION");
+    if (env != nullptr) {
+      std::string list(env);
+      size_t start = 0;
+      while (start <= list.size()) {
+        size_t comma = list.find(',', start);
+        if (comma == std::string::npos) comma = list.size();
+        if (comma > start) out->insert(list.substr(start, comma - start));
+        start = comma + 1;
+      }
+    }
+    return out;
+  }();
+  return *parsed;
+}
+
+std::map<std::string, bool>& Overrides() {
+  static auto* overrides = new std::map<std::string, bool>();
+  return *overrides;
+}
+
+}  // namespace
+
+bool MutationEnabled(const char* name) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  auto it = Overrides().find(name);
+  if (it != Overrides().end()) return it->second;
+  return EnvMutations().count(name) > 0;
+}
+
+void SetMutationForTest(const char* name, bool enabled) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  Overrides()[name] = enabled;
+}
+
+}  // namespace samya

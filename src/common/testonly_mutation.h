@@ -1,0 +1,37 @@
+#ifndef SAMYA_COMMON_TESTONLY_MUTATION_H_
+#define SAMYA_COMMON_TESTONLY_MUTATION_H_
+
+namespace samya {
+
+/// \file
+/// Test-only fault re-injection ("mutation testing" of the checkers): known,
+/// historically-fixed bugs kept reachable behind opt-in flags, so the test
+/// tooling can prove it would have caught them. A mutation is enabled by
+/// listing its name in the SAMYA_TESTONLY_MUTATION environment variable
+/// (comma separated) or programmatically via `SetMutationForTest`. With no
+/// flag set, every guarded site compiles to its fixed behaviour.
+///
+/// Registered mutations:
+///  - "alloc_remainder": PR 2's initial-allocation bug — sites get
+///    M_e / n each and the M_e % n remainder is dropped, so pools no longer
+///    sum to M_e (conservation deficit on 3/7-site clusters).
+///  - "compact_before_apply": PR 4's storage bug — FileStableStorage
+///    compacts the log before applying the op to the in-memory map,
+///    rewriting the log from a stale map and dropping the just-synced
+///    record.
+
+inline constexpr char kMutationAllocRemainder[] = "alloc_remainder";
+inline constexpr char kMutationCompactBeforeApply[] = "compact_before_apply";
+
+/// True when the named mutation is enabled (env var or test override).
+/// Callers on warm paths should cache the result at setup time.
+bool MutationEnabled(const char* name);
+
+/// Forces a mutation on/off for this process, overriding the environment.
+/// Test-only; affects subsequently-constructed components (existing ones may
+/// have cached the previous value).
+void SetMutationForTest(const char* name, bool enabled);
+
+}  // namespace samya
+
+#endif  // SAMYA_COMMON_TESTONLY_MUTATION_H_

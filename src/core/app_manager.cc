@@ -43,6 +43,7 @@ void AppManager::HandleMessage(sim::NodeId from, uint32_t type,
   if (!resp.ok()) return;
   auto it = inflight_.find(resp->request_id);
   if (it == inflight_.end()) return;  // stale (timed out / crashed meanwhile)
+  if (response_tap_) response_tap_(*resp);
   CancelTimer(it->second.timer);
   send_scratch_.Clear();
   resp->EncodeTo(send_scratch_);

@@ -1,6 +1,7 @@
 #ifndef SAMYA_CORE_APP_MANAGER_H_
 #define SAMYA_CORE_APP_MANAGER_H_
 
+#include <functional>
 #include <unordered_map>
 
 #include "common/token_api.h"
@@ -56,6 +57,13 @@ class AppManager : public sim::Node {
   uint64_t batches_sent() const { return batches_sent_; }
   uint64_t batched_requests() const { return batched_requests_; }
 
+  /// History tap for linearizability checking: fires with every site
+  /// response this manager routes back toward a client — the earliest point
+  /// the front door knows an outcome, even if the client-bound hop is then
+  /// lost. Not part of the protocol; pass nullptr to remove.
+  using ResponseTap = std::function<void(const TokenResponse&)>;
+  void set_response_tap(ResponseTap tap) { response_tap_ = std::move(tap); }
+
  private:
   struct Inflight {
     sim::NodeId client = sim::kInvalidNode;
@@ -70,6 +78,7 @@ class AppManager : public sim::Node {
   void FlushBatch(size_t site_index);
 
   AppManagerOptions opts_;
+  ResponseTap response_tap_;  // checker hook; not protocol state
   // Keyed lookups only (no ordered iteration), and one insert+erase per
   // relayed request, so a pre-sized hash map beats the red-black tree.
   std::unordered_map<uint64_t, Inflight> inflight_;

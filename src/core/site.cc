@@ -395,6 +395,7 @@ bool Site::ServeLocally(sim::NodeId client, const TokenRequest& req) {
 
 void Site::Respond(sim::NodeId client, uint64_t request_id, TokenStatus status,
                    int64_t value) {
+  if (history_tap_) history_tap_(request_id, status);
   TokenResponse resp;
   resp.request_id = request_id;
   resp.status = status;

@@ -140,6 +140,14 @@ class Site : public sim::Node {
     instance_observer_ = std::move(obs);
   }
 
+  /// History tap for linearizability checking: fires in `Respond` with every
+  /// final outcome this site sends (including dedup-cache replays). A
+  /// `kCommitted` write outcome means the site has applied the transaction,
+  /// whether or not the client ever observes the response. Not part of the
+  /// protocol; pass nullptr to remove.
+  using HistoryTap = std::function<void(uint64_t request_id, TokenStatus)>;
+  void set_history_tap(HistoryTap tap) { history_tap_ = std::move(tap); }
+
  private:
   enum class Role { kNone, kLeader, kCohort };
   enum class LeaderPhase { kIdle, kElection, kAccept };
@@ -225,6 +233,7 @@ class Site : public sim::Node {
   SiteOptions opts_;
   storage::StableStorage* storage_ = nullptr;
   InstanceObserver instance_observer_;  // audit hook; not protocol state
+  HistoryTap history_tap_;              // checker hook; not protocol state
 
   // --- Token state (the dis-aggregated data) -------------------------------
   int64_t tokens_left_ = 0;

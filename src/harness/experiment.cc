@@ -8,6 +8,7 @@
 #include "baselines/replicated.h"
 #include "common/logging.h"
 #include "common/macros.h"
+#include "common/testonly_mutation.h"
 #include "core/app_manager.h"
 #include "workload/transform.h"
 
@@ -58,6 +59,14 @@ bool IsSamyaVariant(SystemKind kind) {
   }
 }
 
+int64_t InitialSiteTokens(int64_t max_tokens, int num_sites, int site_index) {
+  const int64_t base = max_tokens / num_sites;
+  if (MutationEnabled(kMutationAllocRemainder)) {
+    return base;  // PR 2's bug: the M_e % n remainder is dropped
+  }
+  return base + (site_index < max_tokens % num_sites ? 1 : 0);
+}
+
 Experiment::Experiment(ExperimentOptions opts) : opts_(std::move(opts)) {
   SAMYA_CHECK_GE(opts_.num_sites, 1);
 }
@@ -98,6 +107,10 @@ void Experiment::Setup() {
   setup_done_ = true;
   cluster_ = std::make_unique<sim::Cluster>(opts_.seed);
   faults_ = std::make_unique<sim::FaultInjector>(&cluster_->net());
+  if (opts_.oracle != nullptr) {
+    // Before any event is scheduled: the queue must meta-tag every slot.
+    cluster_->env().set_oracle(opts_.oracle);
+  }
 
   if (opts_.obs.any()) {
     // Attach before any node starts: sites cache the tracer/metrics
@@ -165,10 +178,7 @@ void Experiment::SetupSamya() {
   for (int i = 0; i < n; ++i) {
     core::SiteOptions sopts = opts_.site_template;
     sopts.sites = site_ids;
-    // The first (max_tokens % n) sites absorb the division remainder so the
-    // pools sum to exactly M_e (Eq. 1 conservation holds from t=0).
-    sopts.initial_tokens =
-        opts_.max_tokens / n + (i < opts_.max_tokens % n ? 1 : 0);
+    sopts.initial_tokens = InitialSiteTokens(opts_.max_tokens, n, i);
     sopts.seasonal_period = 288;
     switch (opts_.system) {
       case SystemKind::kSamyaMajority:
@@ -203,6 +213,11 @@ void Experiment::SetupSamya() {
     auto* site = cluster_->AddNode<core::Site>(
         kClientRegions[static_cast<size_t>(i % 5)], sopts);
     site->set_storage(cluster_->StorageFor(site->id()));
+    if (opts_.history != nullptr) {
+      site->set_history_tap([h = opts_.history](uint64_t id, TokenStatus s) {
+        h->OnServerOutcome(id, s);
+      });
+    }
     sites_.push_back(site);
     server_ids_.push_back(site->id());
   }
@@ -219,6 +234,11 @@ void Experiment::SetupSamya() {
     }
     auto* am = cluster_->AddNode<core::AppManager>(
         kClientRegions[static_cast<size_t>(r)], aopts);
+    if (opts_.history != nullptr) {
+      am->set_response_tap([h = opts_.history](const TokenResponse& resp) {
+        h->OnServerOutcome(resp.request_id, resp.status);
+      });
+    }
     am_per_region[static_cast<size_t>(r)] = {am->id()};
   }
   AddClients(am_per_region);
@@ -232,15 +252,13 @@ void Experiment::SetupDemarcation() {
     if (opts_.system == SystemKind::kSiteEscrow) {
       baselines::SiteEscrowOptions sopts;
       sopts.sites = site_ids;
-      sopts.initial_tokens =
-          opts_.max_tokens / n + (i < opts_.max_tokens % n ? 1 : 0);
+      sopts.initial_tokens = InitialSiteTokens(opts_.max_tokens, n, i);
       cluster_->AddNode<baselines::SiteEscrowSite>(
           kClientRegions[static_cast<size_t>(i % 5)], sopts);
     } else {
       baselines::DemarcationOptions dopts;
       dopts.sites = site_ids;
-      dopts.initial_tokens =
-          opts_.max_tokens / n + (i < opts_.max_tokens % n ? 1 : 0);
+      dopts.initial_tokens = InitialSiteTokens(opts_.max_tokens, n, i);
       cluster_->AddNode<baselines::DemarcationSite>(
           kClientRegions[static_cast<size_t>(i % 5)], dopts);
     }
@@ -277,15 +295,23 @@ void Experiment::SetupReplicated() {
 void Experiment::AddClients(
     const std::vector<std::vector<sim::NodeId>>& servers_per_region) {
   for (int r = 0; r < 5; ++r) {
-    const workload::DemandTrace& compressed = CompressedBaseTrace();
-    const Duration day = compressed.interval() * 288;
-    auto shifted = workload::PhaseShift(compressed, day * r / 5);
+    std::vector<workload::Request> script;
+    if (!opts_.scripts_override.empty()) {
+      // Fixed explorer scenario; missing entries leave the region idle.
+      if (static_cast<size_t>(r) < opts_.scripts_override.size()) {
+        script = opts_.scripts_override[static_cast<size_t>(r)];
+      }
+    } else {
+      const workload::DemandTrace& compressed = CompressedBaseTrace();
+      const Duration day = compressed.interval() * 288;
+      auto shifted = workload::PhaseShift(compressed, day * r / 5);
 
-    workload::RequestStreamOptions ropts;
-    ropts.read_ratio = opts_.read_ratio;
-    ropts.horizon = opts_.duration;
-    ropts.seed = opts_.seed + 7 + static_cast<uint64_t>(r);
-    auto script = workload::GenerateRequests(shifted, ropts);
+      workload::RequestStreamOptions ropts;
+      ropts.read_ratio = opts_.read_ratio;
+      ropts.horizon = opts_.duration;
+      ropts.seed = opts_.seed + 7 + static_cast<uint64_t>(r);
+      script = workload::GenerateRequests(shifted, ropts);
+    }
 
     WorkloadClientOptions copts;
     copts.servers = servers_per_region[static_cast<size_t>(r)];
@@ -293,6 +319,7 @@ void Experiment::AddClients(
     copts.max_attempts = opts_.client_attempts;
     copts.closed_loop = opts_.closed_loop;
     copts.window = opts_.client_window;
+    copts.history = opts_.history;
     auto* client = cluster_->AddNode<WorkloadClient>(
         kClientRegions[static_cast<size_t>(r)], copts, std::move(script));
     clients_.push_back(client);

@@ -6,12 +6,14 @@
 #include <vector>
 
 #include "core/site.h"
+#include "harness/history.h"
 #include "harness/invariant_auditor.h"
 #include "harness/workload_client.h"
 #include "obs/observability.h"
 #include "sim/cluster.h"
 #include "sim/fault_injector.h"
 #include "sim/nemesis.h"
+#include "sim/schedule_oracle.h"
 #include "workload/azure_generator.h"
 
 namespace samya::harness {
@@ -70,6 +72,19 @@ struct ExperimentOptions {
   /// Observability components to attach (DESIGN.md §8). All off by default:
   /// the simulator then runs its untraced hot path.
   obs::ObsOptions obs;
+
+  // Schedule exploration (DESIGN.md §10). Both non-owning and null by
+  // default, which leaves the simulator and client hot paths untouched.
+  /// Oracle deciding message-delivery order; attached to the environment
+  /// before any node is constructed.
+  sim::ScheduleOracle* oracle = nullptr;
+  /// Records every client op (plus server-side commit taps on Samya sites
+  /// and app managers) for the linearizability checker.
+  HistoryRecorder* history = nullptr;
+  /// When non-empty, region r's client plays `scripts_override[r]` (missing
+  /// or empty entries idle that region) instead of the generated Azure
+  /// trace. The explorer uses this to drive small fixed scenarios.
+  std::vector<std::vector<workload::Request>> scripts_override;
 };
 
 /// Aggregated measurements of one run.
@@ -175,6 +190,13 @@ class Experiment {
 /// event-loop profile, and headline result counters. Components that were
 /// disabled are simply absent from the object.
 JsonValue BuildMetricsSnapshot(const ExperimentResult& result);
+
+/// Site `site_index`'s share of an entity's M_e tokens: M/n, with the first
+/// (M % n) sites absorbing the division remainder so the pools sum to
+/// exactly M_e (Eq. 1 conservation holds from t=0). Shared by every
+/// deployment builder; also the host of the "alloc_remainder" test-only
+/// mutation (common/testonly_mutation.h), which re-drops the remainder.
+int64_t InitialSiteTokens(int64_t max_tokens, int num_sites, int site_index);
 
 }  // namespace samya::harness
 

@@ -1,0 +1,73 @@
+#include "harness/history.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace samya::harness {
+
+void HistoryRecorder::OnInvoke(int32_t client, const TokenRequest& req,
+                               SimTime at) {
+  auto [it, inserted] = index_.emplace(req.request_id, ops_.size());
+  SAMYA_CHECK(inserted);  // request ids are globally unique per run
+  HistoryOp op;
+  op.request_id = req.request_id;
+  op.client = client;
+  op.entity = req.entity;
+  op.op = req.op;
+  op.amount = req.amount;
+  op.invoke = at;
+  ops_.push_back(op);
+}
+
+void HistoryRecorder::OnClientResponse(uint64_t request_id, TokenStatus status,
+                                       int64_t value, SimTime at) {
+  auto it = index_.find(request_id);
+  if (it == index_.end()) return;
+  HistoryOp& op = ops_[it->second];
+  if (!op.open()) return;  // duplicate response
+  switch (status) {
+    case TokenStatus::kCommitted:
+      op.outcome = HistOutcome::kCommitted;
+      op.respond = at;
+      op.read_value = value;
+      op.server_committed = true;
+      break;
+    case TokenStatus::kRejected:
+      op.outcome = HistOutcome::kRejected;
+      op.respond = at;
+      break;
+    case TokenStatus::kNotLeader:
+    case TokenStatus::kOverloaded:
+      break;  // retryable, not a final response
+  }
+}
+
+void HistoryRecorder::OnServerOutcome(uint64_t request_id, TokenStatus status) {
+  if (status != TokenStatus::kCommitted) return;
+  auto it = index_.find(request_id);
+  if (it == index_.end()) return;  // not a recorded client op
+  HistoryOp& op = ops_[it->second];
+  // Committed reads with no observed response constrain nothing (the value
+  // the server returned is unknown here), so only writes are pinned.
+  if (op.op != TokenOp::kRead) op.server_committed = true;
+}
+
+std::vector<HistoryOp> HistoryRecorder::History(uint32_t entity) const {
+  std::vector<HistoryOp> out;
+  for (const HistoryOp& op : ops_) {
+    if (op.entity == entity) out.push_back(op);
+  }
+  std::sort(out.begin(), out.end(), [](const HistoryOp& a, const HistoryOp& b) {
+    if (a.invoke != b.invoke) return a.invoke < b.invoke;
+    return a.request_id < b.request_id;
+  });
+  return out;
+}
+
+void HistoryRecorder::Clear() {
+  ops_.clear();
+  index_.clear();
+}
+
+}  // namespace samya::harness

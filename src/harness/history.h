@@ -1,0 +1,80 @@
+#ifndef SAMYA_HARNESS_HISTORY_H_
+#define SAMYA_HARNESS_HISTORY_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/time.h"
+#include "common/token_api.h"
+
+namespace samya::harness {
+
+/// Client-observed final outcome of an operation.
+enum class HistOutcome : uint8_t {
+  kOpen = 0,       ///< no final response observed (timeout/drop/run end)
+  kCommitted = 1,  ///< client saw kCommitted
+  kRejected = 2,   ///< client saw kRejected (final constraint rejection)
+};
+
+/// One client operation in a token history: an invocation event, an optional
+/// response event, and server-side knowledge gathered from the core taps.
+struct HistoryOp {
+  uint64_t request_id = 0;
+  int32_t client = -1;  ///< issuing node id
+  uint32_t entity = 0;
+  TokenOp op = TokenOp::kAcquire;
+  int64_t amount = 0;
+  SimTime invoke = 0;
+  SimTime respond = kNoRespond;  ///< client-observed response time
+  HistOutcome outcome = HistOutcome::kOpen;
+  int64_t read_value = 0;  ///< committed reads: observed availability
+  /// The serving system reported this write committed (site/app-manager
+  /// tap), whether or not the client observed a response. The checker must
+  /// place the effect of such an op even when `outcome` stays kOpen.
+  bool server_committed = false;
+
+  static constexpr SimTime kNoRespond = -1;
+  bool open() const { return outcome == HistOutcome::kOpen; }
+};
+
+/// \brief Collects per-entity invocation/response histories from the client
+/// and server taps, for the linearizability checker (lin_check.h).
+///
+/// Wiring: `WorkloadClientOptions::history` records invocations and
+/// client-observed responses; `Site::set_history_tap` /
+/// `AppManager::set_response_tap` feed `OnServerOutcome` so writes the
+/// system committed but the client never heard about are not treated as
+/// optional. All methods are idempotent against duplicate taps (retries,
+/// dedup-cache replays).
+class HistoryRecorder {
+ public:
+  /// Client is about to send `req` for the first time.
+  void OnInvoke(int32_t client, const TokenRequest& req, SimTime at);
+
+  /// Client observed a final response. `value` is the response's value field
+  /// (meaningful for committed reads). Later duplicates are ignored.
+  void OnClientResponse(uint64_t request_id, TokenStatus status, int64_t value,
+                        SimTime at);
+
+  /// A server-side tap observed a final outcome for `request_id`. Only
+  /// `kCommitted` outcomes for writes are recorded (they constrain the
+  /// checker); everything else — and ids never invoked, e.g. internal
+  /// traffic — is ignored.
+  void OnServerOutcome(uint64_t request_id, TokenStatus status);
+
+  /// Ops of `entity`, sorted by (invoke, request_id). Open ops keep
+  /// `respond == kNoRespond` and order after every completed response.
+  std::vector<HistoryOp> History(uint32_t entity) const;
+
+  size_t size() const { return ops_.size(); }
+  void Clear();
+
+ private:
+  std::vector<HistoryOp> ops_;
+  std::unordered_map<uint64_t, size_t> index_;  ///< request_id -> ops_ index
+};
+
+}  // namespace samya::harness
+
+#endif  // SAMYA_HARNESS_HISTORY_H_

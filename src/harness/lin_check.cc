@@ -1,0 +1,313 @@
+#include "harness/lin_check.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <limits>
+#include <unordered_set>
+
+#include "common/macros.h"
+
+namespace samya::harness {
+
+namespace {
+
+const char* OpName(TokenOp op) {
+  switch (op) {
+    case TokenOp::kAcquire:
+      return "acquire";
+    case TokenOp::kRelease:
+      return "release";
+    case TokenOp::kRead:
+      return "read";
+  }
+  return "?";
+}
+
+std::string Describe(const HistoryOp& op) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "%s(%" PRId64 ") client=%d id=%" PRIu64 " [%" PRId64 ", %" PRId64
+                "] outcome=%d%s",
+                OpName(op.op), op.amount, op.client, op.request_id, op.invoke,
+                op.respond, static_cast<int>(op.outcome),
+                op.server_committed ? " server-committed" : "");
+  return buf;
+}
+
+// --------------------------------------------------------------------------
+// Linearizability: Wing & Gong DFS with memoized configurations.
+// --------------------------------------------------------------------------
+
+class WglChecker {
+ public:
+  WglChecker(std::vector<HistoryOp> ops, const CheckOptions& opts)
+      : ops_(std::move(ops)), opts_(opts) {
+    spec_.capacity = opts_.max_tokens;
+    linearized_.assign(ops_.size(), false);
+    words_.assign((ops_.size() + 63) / 64, 0);
+    for (const HistoryOp& op : ops_) {
+      must_.push_back(!op.open() || op.server_committed);
+    }
+    must_remaining_ = 0;
+    for (bool m : must_) must_remaining_ += m ? 1 : 0;
+  }
+
+  CheckResult Run() {
+    const bool ok = Dfs();
+    CheckResult r;
+    r.states_explored = states_;
+    r.cache_hits = cache_hits_;
+    r.complete = complete_;
+    r.ok = ok || !complete_;  // an exhausted budget is "not proven wrong"
+    if (!ok && complete_) {
+      r.violation = "history not linearizable against TokenSpec(M=" +
+                    std::to_string(opts_.max_tokens) + "); " +
+                    std::to_string(ops_.size()) + " checked ops";
+      for (size_t i = 0; i < ops_.size() && i < 40; ++i) {
+        r.violation += "\n  " + Describe(ops_[i]);
+      }
+    }
+    return r;
+  }
+
+ private:
+  /// Attempts the op's transition at the current point; returns false when
+  /// its precondition fails (state untouched either way on failure).
+  bool Apply(const HistoryOp& op) {
+    switch (op.op) {
+      case TokenOp::kAcquire:
+        if (op.outcome == HistOutcome::kRejected) {
+          // Legal only where the spec really could not grant it.
+          TokenSpec probe = spec_;
+          return !probe.Acquire(op.amount);
+        }
+        return spec_.Acquire(op.amount);
+      case TokenOp::kRelease:
+        if (op.outcome == HistOutcome::kRejected) {
+          TokenSpec probe = spec_;
+          return !probe.Release(op.amount);
+        }
+        return spec_.Release(op.amount);
+      case TokenOp::kRead:
+        // Only strict committed reads reach the search (others are filtered
+        // out before it); the value must match the spec exactly here.
+        return spec_.Read() == op.read_value;
+    }
+    return false;
+  }
+
+  void Undo(const HistoryOp& op) {
+    if (op.outcome == HistOutcome::kRejected) return;
+    if (op.op == TokenOp::kAcquire) spec_.acquired -= op.amount;
+    if (op.op == TokenOp::kRelease) spec_.acquired += op.amount;
+  }
+
+  bool Dfs() {
+    if (must_remaining_ == 0) return true;
+    if (++states_ > opts_.max_states) {
+      complete_ = false;
+      return false;
+    }
+    if (!Memoize()) {
+      ++cache_hits_;
+      return false;
+    }
+    // An op may linearize next iff every op that responded before its
+    // invocation already has. Open ops never bound the frontier.
+    SimTime min_respond = HistoryOp::kNoRespond;
+    for (size_t i = 0; i < ops_.size(); ++i) {
+      if (linearized_[i] || ops_[i].open()) continue;
+      if (min_respond == HistoryOp::kNoRespond ||
+          ops_[i].respond < min_respond) {
+        min_respond = ops_[i].respond;
+      }
+    }
+    for (size_t i = 0; i < ops_.size(); ++i) {
+      if (linearized_[i]) continue;
+      if (min_respond != HistoryOp::kNoRespond &&
+          ops_[i].invoke > min_respond) {
+        continue;
+      }
+      const HistoryOp& op = ops_[i];
+      if (!Apply(op)) continue;
+      linearized_[i] = true;
+      words_[i / 64] |= 1ull << (i % 64);
+      must_remaining_ -= must_[i] ? 1 : 0;
+      if (Dfs()) return true;
+      must_remaining_ += must_[i] ? 1 : 0;
+      words_[i / 64] &= ~(1ull << (i % 64));
+      linearized_[i] = false;
+      Undo(op);
+      if (!complete_) return false;
+    }
+    return false;
+  }
+
+  /// Inserts the configuration (linearized set, spec counter); false when it
+  /// was already visited. Two independent FNV streams keyed differently make
+  /// an accidental 128-bit collision negligible.
+  bool Memoize() {
+    uint64_t h1 = 0xcbf29ce484222325ull;
+    uint64_t h2 = 0x84222325cbf29ce4ull;
+    auto mix = [](uint64_t h, uint64_t v) {
+      h ^= v;
+      return h * 0x100000001b3ull;
+    };
+    for (uint64_t w : words_) {
+      h1 = mix(h1, w);
+      h2 = mix(h2, w + 0x9e3779b97f4a7c15ull);
+    }
+    h1 = mix(h1, static_cast<uint64_t>(spec_.acquired));
+    h2 = mix(h2, static_cast<uint64_t>(spec_.acquired) * 3);
+    return visited_.insert((static_cast<unsigned __int128>(h1) << 64) | h2)
+        .second;
+  }
+
+  struct U128Hash {
+    size_t operator()(unsigned __int128 v) const {
+      return static_cast<size_t>(static_cast<uint64_t>(v) ^
+                                 static_cast<uint64_t>(v >> 64));
+    }
+  };
+
+  std::vector<HistoryOp> ops_;
+  CheckOptions opts_;
+  TokenSpec spec_;
+  std::vector<bool> linearized_;
+  std::vector<uint64_t> words_;  ///< linearized_ as bits, for hashing
+  std::vector<bool> must_;
+  size_t must_remaining_ = 0;
+  std::unordered_set<unsigned __int128, U128Hash> visited_;
+  uint64_t states_ = 0;
+  uint64_t cache_hits_ = 0;
+  bool complete_ = true;
+};
+
+// --------------------------------------------------------------------------
+// Bounded-counter safety.
+// --------------------------------------------------------------------------
+
+/// One effect placement in a time sweep: `delta` applied at `at`; at equal
+/// times, negative deltas apply first on the supremum side and positive
+/// first on the infimum side (both favor the history).
+struct Effect {
+  SimTime at;
+  int64_t delta;
+  const HistoryOp* op;
+};
+
+CheckResult CheckBounded(const std::vector<HistoryOp>& history,
+                         const CheckOptions& opts) {
+  CheckResult r;
+  const SimTime kEnd =
+      std::numeric_limits<SimTime>::max();  // open ops place last
+
+  for (const HistoryOp& op : history) {
+    if (op.op == TokenOp::kRead && op.outcome == HistOutcome::kCommitted) {
+      if (op.read_value < 0 || op.read_value > opts.max_tokens) {
+        r.ok = false;
+        r.violation = "read outside [0, M]: " + Describe(op);
+        return r;
+      }
+    }
+  }
+
+  // Supremum side: did committed acquires ever have to exceed M? Acquires
+  // place as late as possible, releases as early as possible; open releases
+  // may have committed (and help), open non-pinned acquires may not have
+  // (and are excluded). A violation under this most favorable placement is a
+  // violation under every placement.
+  std::vector<Effect> sup;
+  // Infimum side: could every committed release have been covered? Acquires
+  // early (open ones included — they may have committed), releases late,
+  // open non-pinned releases excluded.
+  std::vector<Effect> inf;
+  for (const HistoryOp& op : history) {
+    const bool committed =
+        op.outcome == HistOutcome::kCommitted || op.server_committed;
+    const SimTime respond = op.open() ? kEnd : op.respond;
+    if (op.op == TokenOp::kAcquire) {
+      if (committed) sup.push_back({respond, op.amount, &op});
+      if (committed || op.open()) inf.push_back({op.invoke, op.amount, &op});
+    } else if (op.op == TokenOp::kRelease) {
+      if (committed || op.open()) sup.push_back({op.invoke, -op.amount, &op});
+      if (committed) inf.push_back({respond, -op.amount, &op});
+    }
+  }
+  auto sweep = [&](std::vector<Effect>& effects, bool neg_first,
+                   const char* side) {
+    std::stable_sort(effects.begin(), effects.end(),
+                     [neg_first](const Effect& a, const Effect& b) {
+                       if (a.at != b.at) return a.at < b.at;
+                       const bool an = a.delta < 0, bn = b.delta < 0;
+                       return neg_first ? (an && !bn) : (!an && bn);
+                     });
+    int64_t acquired = 0;
+    for (const Effect& e : effects) {
+      acquired += e.delta;
+      // Each side only checks its own bound: the sup placement is only
+      // favorable for staying *under* M (releases earliest), so dipping
+      // below zero there says nothing — some later release placement may
+      // keep the counter non-negative. Symmetrically for inf.
+      if (neg_first && acquired > opts.max_tokens) {
+        r.ok = false;
+        r.violation = std::string(side) +
+                      ": acquired tokens exceed M even under the most "
+                      "favorable placement at " +
+                      Describe(*e.op);
+        return false;
+      }
+      if (!neg_first && acquired < 0) {
+        r.ok = false;
+        r.violation = std::string(side) +
+                      ": more tokens released than acquired even under the "
+                      "most favorable placement at " +
+                      Describe(*e.op);
+        return false;
+      }
+    }
+    return true;
+  };
+  if (!sweep(sup, /*neg_first=*/true, "sup")) return r;
+  if (!sweep(inf, /*neg_first=*/false, "inf")) return r;
+  return r;
+}
+
+}  // namespace
+
+CheckResult CheckHistory(const std::vector<HistoryOp>& history,
+                         const CheckOptions& opts) {
+  SAMYA_CHECK_GT(opts.max_tokens, 0);
+  if (opts.mode == CheckOptions::Mode::kBoundedSafety) {
+    return CheckBounded(history, opts);
+  }
+
+  // Keep only ops the mode constrains:
+  //  - committed writes and open writes (effects; open = may have happened),
+  //  - committed reads when strict_reads,
+  //  - rejections when strict_rejections.
+  std::vector<HistoryOp> checked;
+  for (const HistoryOp& op : history) {
+    if (op.outcome == HistOutcome::kRejected) {
+      if (opts.strict_rejections) checked.push_back(op);
+      continue;
+    }
+    if (op.op == TokenOp::kRead) {
+      if (op.outcome == HistOutcome::kCommitted) {
+        if (op.read_value < 0 || op.read_value > opts.max_tokens) {
+          CheckResult r;
+          r.ok = false;
+          r.violation = "read outside [0, M]: " + Describe(op);
+          return r;
+        }
+        if (opts.strict_reads) checked.push_back(op);
+      }
+      continue;
+    }
+    checked.push_back(op);
+  }
+  return WglChecker(std::move(checked), opts).Run();
+}
+
+}  // namespace samya::harness

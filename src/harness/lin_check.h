@@ -1,0 +1,103 @@
+#ifndef SAMYA_HARNESS_LIN_CHECK_H_
+#define SAMYA_HARNESS_LIN_CHECK_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "harness/history.h"
+
+namespace samya::harness {
+
+/// \brief Sequential token-counter specification (the paper's Eq. 1 as a
+/// state machine): a single counter of acquired tokens bounded by the
+/// entity's capacity M_e.
+///
+/// This is the reference model both the linearizability checker and the
+/// `consensus/token_sm` unit tests link against: a distributed run is
+/// correct exactly when its client history can be explained by some
+/// sequential execution of these three transitions.
+struct TokenSpec {
+  int64_t capacity = 0;  ///< M_e
+  int64_t acquired = 0;
+
+  /// acquireTokens(e, n): commits iff the pool can still cover it.
+  bool Acquire(int64_t amount) {
+    if (amount <= 0 || acquired + amount > capacity) return false;
+    acquired += amount;
+    return true;
+  }
+  /// releaseTokens(e, m): commits iff that many tokens are outstanding.
+  bool Release(int64_t amount) {
+    if (amount <= 0 || amount > acquired) return false;
+    acquired -= amount;
+    return true;
+  }
+  /// Global availability a committed read must report.
+  int64_t Read() const { return capacity - acquired; }
+};
+
+/// What the checker demands of a history. The strictness knobs exist because
+/// not every system under test promises full linearizability:
+///  - Samya commits are linearizable, but a local-pool rejection can be
+///    globally spurious (tokens were free at another site) and a global read
+///    sums per-site snapshots taken at slightly different instants — so its
+///    preset keeps `strict_rejections`/`strict_reads` off.
+///  - Replicated baselines (MultiPaxSys, Raft) serialize everything through
+///    one log: fully strict.
+///  - Escrow/demarcation are not linearizable by design; `kBoundedSafety`
+///    only demands that no placement of the committed effects can be found
+///    where the counter stays within [0, M] — the numeric-invariant notion
+///    of correctness.
+struct CheckOptions {
+  enum class Mode { kLinearizability, kBoundedSafety };
+  Mode mode = Mode::kLinearizability;
+  int64_t max_tokens = 0;  ///< M_e
+  /// Committed reads must return the exact spec value at their
+  /// linearization point (off: only 0 <= value <= M is required).
+  bool strict_reads = false;
+  /// Rejected acquires must be justifiable — the spec could not have granted
+  /// the amount at the chosen linearization point.
+  bool strict_rejections = false;
+  /// Search budget; exceeded => `CheckResult::complete` is false.
+  uint64_t max_states = 20'000'000;
+
+  static CheckOptions Samya(int64_t m) {
+    return CheckOptions{Mode::kLinearizability, m, false, false};
+  }
+  static CheckOptions Replicated(int64_t m) {
+    return CheckOptions{Mode::kLinearizability, m, true, true};
+  }
+  static CheckOptions Bounded(int64_t m) {
+    return CheckOptions{Mode::kBoundedSafety, m, false, false};
+  }
+};
+
+struct CheckResult {
+  bool ok = true;
+  bool complete = true;  ///< false when the state budget ran out first
+  std::string violation;  ///< human-readable; empty when ok
+  uint64_t states_explored = 0;
+  uint64_t cache_hits = 0;
+};
+
+/// \brief Checks one entity's history against the sequential `TokenSpec`.
+///
+/// Linearizability mode runs the Wing & Gong search with Lowe-style
+/// memoization: depth-first over the partial orders, where a configuration
+/// is the pair (set of linearized ops, spec counter) and revisiting a
+/// configuration is pruned. Open ops (no client-observed response) may
+/// linearize at any point after their invocation or never — except ops a
+/// server tap marked `server_committed`, whose effect must be placed.
+///
+/// Bounded-safety mode checks that some placement of each committed effect
+/// inside its [invoke, respond] window keeps the counter within [0, M]:
+/// the supremum side places acquires as late and releases as early as
+/// possible, the infimum side the reverse; a violation under the most
+/// favorable placement is a violation under every placement.
+CheckResult CheckHistory(const std::vector<HistoryOp>& history,
+                         const CheckOptions& opts);
+
+}  // namespace samya::harness
+
+#endif  // SAMYA_HARNESS_LIN_CHECK_H_

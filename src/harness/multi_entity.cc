@@ -6,6 +6,7 @@
 #include "common/macros.h"
 #include "core/app_manager.h"
 #include "core/directory.h"
+#include "harness/experiment.h"
 #include "harness/parallel_runner.h"
 #include "sim/cluster.h"
 #include "workload/request_stream.h"
@@ -70,8 +71,7 @@ EntityShardResult RunEntityShard(const MultiEntityOptions& opts,
   for (int i = 0; i < n; ++i) {
     core::SiteOptions sopts = opts.site_template;
     sopts.sites = site_ids;
-    sopts.initial_tokens = opts.tokens_per_entity / n +
-                           (i < opts.tokens_per_entity % n ? 1 : 0);
+    sopts.initial_tokens = InitialSiteTokens(opts.tokens_per_entity, n, i);
     sopts.seasonal_period = 288;
     if (sopts.enable_prediction && sopts.training_series.empty()) {
       const int r = i % kRegions;

@@ -92,6 +92,9 @@ void WorkloadClient::IssueNext() {
     }
     out.first_sent = Now();
     ++stats_.sent;
+    if (opts_.history != nullptr) {
+      opts_.history->OnInvoke(id(), out.request, Now());
+    }
     const uint64_t id = out.request.request_id;
     Outstanding& slot = outstanding_[id];
     slot = out;
@@ -153,6 +156,11 @@ void WorkloadClient::HandleMessage(sim::NodeId from, uint32_t type,
   Outstanding& out = it->second;
   CancelTimer(out.timeout_timer);
 
+  if (opts_.history != nullptr && (resp->status == TokenStatus::kCommitted ||
+                                   resp->status == TokenStatus::kRejected)) {
+    opts_.history->OnClientResponse(resp->request_id, resp->status,
+                                    resp->value, Now());
+  }
   switch (resp->status) {
     case TokenStatus::kCommitted: {
       stats_.latency.Record(Now() - out.first_sent);

@@ -7,6 +7,7 @@
 #include "common/histogram.h"
 #include "common/timeseries.h"
 #include "common/token_api.h"
+#include "harness/history.h"
 #include "sim/node.h"
 #include "workload/request_stream.h"
 
@@ -50,6 +51,10 @@ struct WorkloadClientOptions {
   /// issues. Multi-entity deployments route on it (EntityRouter); the
   /// default 0 is the single-entity convention used everywhere else.
   uint32_t entity = 0;
+  /// Optional history recorder (non-owning): every issued request records an
+  /// invocation, every final response a completion, for the linearizability
+  /// checker. Null (the default) records nothing.
+  HistoryRecorder* history = nullptr;
 };
 
 /// \brief Trace-driven open-loop client (§5.2: one per region, all issuing

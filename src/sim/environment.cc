@@ -1,8 +1,58 @@
 #include "sim/environment.h"
 
+#include <algorithm>
+
 #include "common/macros.h"
 
 namespace samya::sim {
+
+bool SimEnvironment::OracleStep() {
+  const SimTime t0 = queue_.NextTime();
+  const uint64_t top_seq = queue_.NextSeq();
+  pending_scratch_.clear();
+  queue_.CollectMessagesUntil(t0 + oracle_->window(), &pending_scratch_);
+
+  // Reordering applies only when the FIFO-next event is itself a message
+  // delivery and at least one other delivery commutes with it. Timers and
+  // internal events always fire in FIFO order — they are deterministic
+  // local computation, not network nondeterminism.
+  bool top_is_message = false;
+  for (const EventQueue::PendingRef& p : pending_scratch_) {
+    if (p.time == t0 && p.seq == top_seq) {
+      top_is_message = true;
+      break;
+    }
+  }
+  if (!top_is_message || pending_scratch_.size() < 2) {
+    const EventQueue::Popped p = queue_.PopEntry();
+    now_ = p.time;
+    ++events_executed_;
+    Invoke(p.slot);
+    return true;
+  }
+
+  std::sort(pending_scratch_.begin(), pending_scratch_.end(),
+            [](const EventQueue::PendingRef& a, const EventQueue::PendingRef& b) {
+              if (a.time != b.time) return a.time < b.time;
+              return a.seq < b.seq;
+            });
+  candidates_scratch_.clear();
+  for (const EventQueue::PendingRef& p : pending_scratch_) {
+    candidates_scratch_.push_back(ScheduleCandidate{
+        p.time, p.seq, p.meta.from, p.meta.to, p.meta.type});
+  }
+  const uint32_t choice = oracle_->ChooseAndRecord(candidates_scratch_);
+  const EventQueue::Popped p = choice == 0
+                                   ? queue_.PopEntry()
+                                   : queue_.PopByKey(pending_scratch_[choice].key);
+  // The chosen delivery fires at the earliest candidate's time: reordering
+  // within the window is indistinguishable from an alternate latency draw,
+  // and the simulated clock skeleton stays identical to the FIFO run.
+  now_ = t0;
+  ++events_executed_;
+  Invoke(p.slot);
+  return true;
+}
 
 void SimEnvironment::RunUntil(SimTime t) {
   while (!queue_.empty() && queue_.NextTime() <= t) {

@@ -3,12 +3,14 @@
 
 #include <cstdint>
 #include <utility>
+#include <vector>
 
 #include "common/macros.h"
 #include "common/random.h"
 #include "common/time.h"
 #include "obs/profiler.h"
 #include "sim/event_queue.h"
+#include "sim/schedule_oracle.h"
 
 namespace samya::sim {
 
@@ -44,20 +46,30 @@ class SimEnvironment {
     queue_.Push(t, next_seq_++, std::move(fn));
   }
 
+  /// Schedules a message delivery `delay` from now, tagged with its network
+  /// identity. With no oracle attached this is exactly `Schedule`; with one,
+  /// the tag makes the delivery eligible for reordering against other
+  /// deliveries in the oracle's window.
+  void ScheduleMessage(Duration delay, int32_t from, int32_t to, uint32_t type,
+                       SimCallback&& fn) {
+    if (delay < 0) delay = 0;
+    if (oracle_ == nullptr) {
+      queue_.Push(now_ + delay, next_seq_++, std::move(fn));
+    } else {
+      queue_.PushMessage(now_ + delay, next_seq_++, std::move(fn),
+                         EventQueue::MsgMeta{from, to, type});
+    }
+  }
+
   /// Runs a single event; returns false when the queue is empty.
   bool Step() {
     if (queue_.empty()) return false;
+    if (oracle_ != nullptr) return OracleStep();
     const EventQueue::Popped p = queue_.PopEntry();
     SAMYA_CHECK_GE(p.time, now_);
     now_ = p.time;
     ++events_executed_;
-    if (profiler_ == nullptr) {
-      queue_.InvokeAndRecycle(p.slot);
-    } else {
-      const int64_t t0 = obs::EventLoopProfiler::NowNs();
-      queue_.InvokeAndRecycle(p.slot);
-      profiler_->AccountEvent(obs::EventLoopProfiler::NowNs() - t0);
-    }
+    Invoke(p.slot);
     return true;
   }
 
@@ -81,17 +93,45 @@ class SimEnvironment {
   void set_profiler(obs::EventLoopProfiler* profiler) { profiler_ = profiler; }
   obs::EventLoopProfiler* profiler() const { return profiler_; }
 
+  /// Attaches a schedule oracle (nullptr = disabled, the default: the loop
+  /// stays on its untouched FIFO hot path). Must be attached before any
+  /// event is scheduled — the queue needs every slot meta-tagged.
+  void set_oracle(ScheduleOracle* oracle) {
+    oracle_ = oracle;
+    if (oracle_ != nullptr) {
+      SAMYA_CHECK_EQ(next_seq_, 0u);
+      queue_.EnableMetaTracking();
+    }
+  }
+  ScheduleOracle* oracle() const { return oracle_; }
+
   /// Stable pointer to the simulated clock, for out-of-loop readers like
   /// `Logger::SetThreadSimClock`. Valid for this environment's lifetime.
   const SimTime* now_ptr() const { return &now_; }
 
  private:
+  void Invoke(uint32_t slot) {
+    if (profiler_ == nullptr) {
+      queue_.InvokeAndRecycle(slot);
+    } else {
+      const int64_t t0 = obs::EventLoopProfiler::NowNs();
+      queue_.InvokeAndRecycle(slot);
+      profiler_->AccountEvent(obs::EventLoopProfiler::NowNs() - t0);
+    }
+  }
+
+  /// Oracle-mediated step (out of line; runs only with an oracle attached).
+  bool OracleStep();
+
   SimTime now_ = 0;
   uint64_t next_seq_ = 0;
   uint64_t events_executed_ = 0;
   EventQueue queue_;
   Rng rng_;
   obs::EventLoopProfiler* profiler_ = nullptr;
+  ScheduleOracle* oracle_ = nullptr;
+  std::vector<EventQueue::PendingRef> pending_scratch_;
+  std::vector<ScheduleCandidate> candidates_scratch_;
 };
 
 }  // namespace samya::sim

@@ -46,23 +46,35 @@ struct Event {
 /// into its slot at `Push`, out of it just before it runs.
 class EventQueue {
  public:
+  /// Message identity carried per slot when meta tracking is on (schedule
+  /// exploration); `from < 0` marks a non-message (timer/internal) event.
+  struct MsgMeta {
+    int32_t from = -1;
+    int32_t to = -1;
+    uint32_t type = 0;
+  };
+
   /// `seq` must be < 2^40 and unique per queue; ties in `time` fire in
   /// `seq` order.
   void Push(SimTime time, uint64_t seq, SimCallback&& fn) {
-    uint32_t slot;
-    if (!free_slots_.empty()) {
-      slot = free_slots_.back();
-      free_slots_.pop_back();
-      slots_[slot] = std::move(fn);
-    } else {
-      slot = static_cast<uint32_t>(slots_.size());
-      SAMYA_CHECK(slot < (1u << kSlotBits));
-      slots_.push_back(std::move(fn));
-    }
-    SAMYA_CHECK(seq < (1ull << (64 - kSlotBits)));
-    heap_.emplace_back();  // open a hole at the end
-    SiftUp(heap_.size() - 1, Entry{time, (seq << kSlotBits) | slot});
+    const uint32_t slot = PushSlot(time, seq, std::move(fn));
+    if (track_meta_) metas_[slot] = MsgMeta{};  // mark non-message
   }
+
+  /// Push tagged as a message delivery (requires `EnableMetaTracking`); the
+  /// schedule oracle may reorder it against other deliveries in its window.
+  void PushMessage(SimTime time, uint64_t seq, SimCallback&& fn,
+                   MsgMeta meta) {
+    SAMYA_CHECK(track_meta_);
+    const uint32_t slot = PushSlot(time, seq, std::move(fn));
+    metas_[slot] = meta;
+  }
+
+  /// Turns on per-slot message metadata. Off (the default), `Push` does no
+  /// extra work; on, each push writes one 12-byte meta record. Enable before
+  /// the first push of a run (the schedule oracle needs every slot tagged).
+  void EnableMetaTracking() { track_meta_ = true; }
+  bool meta_tracking() const { return track_meta_; }
 
   bool empty() const { return heap_.empty(); }
   size_t size() const { return heap_.size(); }
@@ -70,6 +82,11 @@ class EventQueue {
   SimTime NextTime() const {
     SAMYA_CHECK(!heap_.empty());
     return heap_[0].time;
+  }
+
+  uint64_t NextSeq() const {
+    SAMYA_CHECK(!heap_.empty());
+    return heap_[0].key >> kSlotBits;
   }
 
   /// Removes the top event and moves it out.
@@ -108,7 +125,73 @@ class EventQueue {
     fn();
   }
 
+  // --- Schedule-oracle support (cold paths; never touched by the default
+  // --- FIFO loop) ----------------------------------------------------------
+
+  /// A pending entry surfaced to the schedule oracle.
+  struct PendingRef {
+    SimTime time;
+    uint64_t seq;
+    uint64_t key;  ///< packed (seq << kSlotBits) | slot, for PopByKey
+    MsgMeta meta;
+  };
+
+  /// Appends every pending *message* event with `time <= horizon` to `out`
+  /// (unsorted; linear scan of the flat heap array). Requires meta tracking.
+  void CollectMessagesUntil(SimTime horizon,
+                            std::vector<PendingRef>* out) const {
+    SAMYA_CHECK(track_meta_);
+    for (const Entry& e : heap_) {
+      if (e.time > horizon) continue;
+      const uint32_t slot = static_cast<uint32_t>(e.key & kSlotMask);
+      const MsgMeta& m = metas_[slot];
+      if (m.from < 0) continue;
+      out->push_back(PendingRef{e.time, e.key >> kSlotBits, e.key, m});
+    }
+  }
+
+  /// Removes the entry with packed key `key` (from a `PendingRef`) wherever
+  /// it sits in the heap; the callback stays parked for `InvokeAndRecycle`.
+  /// Linear search + one sift — O(n), fine for oracle-driven runs.
+  Popped PopByKey(uint64_t key) {
+    for (size_t i = 0; i < heap_.size(); ++i) {
+      if (heap_[i].key != key) continue;
+      const Entry found = heap_[i];
+      const Entry last = heap_.back();
+      heap_.pop_back();
+      if (i < heap_.size()) {
+        // The hole may need to move either way relative to `last`.
+        if (i > 0 && Before(last, heap_[(i - 1) / kArity])) {
+          SiftUp(i, last);
+        } else {
+          SiftDown(i, last);
+        }
+      }
+      return Popped{found.time, found.key >> kSlotBits,
+                    static_cast<uint32_t>(found.key & kSlotMask)};
+    }
+    SAMYA_CHECK(false);  // key not pending — oracle/driver bug
+    return Popped{};
+  }
+
  private:
+  uint32_t PushSlot(SimTime time, uint64_t seq, SimCallback&& fn) {
+    uint32_t slot;
+    if (!free_slots_.empty()) {
+      slot = free_slots_.back();
+      free_slots_.pop_back();
+      slots_[slot] = std::move(fn);
+    } else {
+      slot = static_cast<uint32_t>(slots_.size());
+      SAMYA_CHECK(slot < (1u << kSlotBits));
+      slots_.push_back(std::move(fn));
+      if (track_meta_) metas_.emplace_back();
+    }
+    SAMYA_CHECK(seq < (1ull << (64 - kSlotBits)));
+    heap_.emplace_back();  // open a hole at the end
+    SiftUp(heap_.size() - 1, Entry{time, (seq << kSlotBits) | slot});
+    return slot;
+  }
   static constexpr size_t kArity = 4;
   static constexpr unsigned kSlotBits = 24;
   static constexpr uint64_t kSlotMask = (1ull << kSlotBits) - 1;
@@ -158,6 +241,8 @@ class EventQueue {
   std::vector<Entry> heap_;
   std::vector<SimCallback> slots_;
   std::vector<uint32_t> free_slots_;
+  bool track_meta_ = false;
+  std::vector<MsgMeta> metas_;  ///< parallel to slots_ when track_meta_
 };
 
 }  // namespace samya::sim

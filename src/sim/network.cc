@@ -194,19 +194,21 @@ void Network::Send(NodeId from, NodeId to, uint32_t type,
     copy.assign(payload.begin(), payload.end());
     const Duration dup_latency = ScaledLatency(sender, receiver);
     if (tracer_ == nullptr) {
-      env_->Schedule(dup_latency, [this, from, to, type,
-                                   payload = std::move(copy)]() mutable {
-        Deliver(from, to, type, std::move(payload));
-      });
+      env_->ScheduleMessage(dup_latency, from, to, type,
+                            [this, from, to, type,
+                             payload = std::move(copy)]() mutable {
+                              Deliver(from, to, type, std::move(payload));
+                            });
     } else {
       // The duplicate gets its own message record (it fires its own
       // terminal tap event) carrying the same causal context.
       const uint64_t rec = tracer_->OnMessageSent(
           env_->Now(), from, to, type, copy.size(), tracer_->current());
-      env_->Schedule(dup_latency, [this, from, to, type, rec,
-                                   payload = std::move(copy)]() mutable {
-        Deliver(from, to, type, std::move(payload), rec);
-      });
+      env_->ScheduleMessage(dup_latency, from, to, type,
+                            [this, from, to, type, rec,
+                             payload = std::move(copy)]() mutable {
+                              Deliver(from, to, type, std::move(payload), rec);
+                            });
     }
   }
 
@@ -214,21 +216,25 @@ void Network::Send(NodeId from, NodeId to, uint32_t type,
   if (tracer_ == nullptr) {
     // The delivery closure (48 bytes: this + ids + type + the payload vector)
     // fits SimCallback's inline buffer, and the payload returns to the pool
-    // whether the message is delivered or dropped in flight.
-    env_->Schedule(latency, [this, from, to, type,
-                             payload = std::move(payload)]() mutable {
-      Deliver(from, to, type, std::move(payload));
-    });
+    // whether the message is delivered or dropped in flight. Deliveries go
+    // through ScheduleMessage so an attached schedule oracle may reorder
+    // them; with no oracle it is a plain Schedule.
+    env_->ScheduleMessage(latency, from, to, type,
+                          [this, from, to, type,
+                           payload = std::move(payload)]() mutable {
+                            Deliver(from, to, type, std::move(payload));
+                          });
   } else {
     // Traced sends carry the sender's context out-of-band: the record id
     // rides the (heap-fallback) closure, never the payload bytes, so the
     // wire format and every RNG draw are identical with tracing off.
     const uint64_t rec = tracer_->OnMessageSent(
         env_->Now(), from, to, type, payload.size(), tracer_->current());
-    env_->Schedule(latency, [this, from, to, type, rec,
-                             payload = std::move(payload)]() mutable {
-      Deliver(from, to, type, std::move(payload), rec);
-    });
+    env_->ScheduleMessage(latency, from, to, type,
+                          [this, from, to, type, rec,
+                           payload = std::move(payload)]() mutable {
+                            Deliver(from, to, type, std::move(payload), rec);
+                          });
   }
 }
 

@@ -1,0 +1,97 @@
+#include "sim/schedule_oracle.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace samya::sim {
+
+namespace {
+
+/// FNV-1a over a stream of 64-bit words.
+inline uint64_t Mix(uint64_t h, uint64_t v) {
+  h ^= v;
+  return h * 0x100000001b3ull;
+}
+
+}  // namespace
+
+uint64_t ScheduleOracle::HashCandidates(
+    const std::vector<ScheduleCandidate>& c) {
+  // Candidates arrive sorted by (time, seq); hashing times relative to the
+  // earliest keeps the fingerprint stable when the same decision context
+  // recurs at a different absolute clock (e.g. across DFS branches).
+  uint64_t h = 0xcbf29ce484222325ull;
+  const SimTime base = c.empty() ? 0 : c.front().time;
+  for (const ScheduleCandidate& e : c) {
+    h = Mix(h, static_cast<uint64_t>(e.time - base));
+    h = Mix(h, (static_cast<uint64_t>(static_cast<uint32_t>(e.from)) << 32) |
+                   static_cast<uint32_t>(e.to));
+    h = Mix(h, e.type);
+  }
+  return h;
+}
+
+uint32_t ScheduleOracle::ChooseAndRecord(
+    const std::vector<ScheduleCandidate>& candidates) {
+  SAMYA_CHECK_GE(candidates.size(), 2u);
+  const uint32_t chosen = Choose(candidates);
+  SAMYA_CHECK_LT(chosen, candidates.size());
+  uint64_t h = HashCandidates(candidates);
+  if (state_fn_) h = Mix(h, state_fn_());
+  trace_.push_back(ChoicePoint{chosen,
+                               static_cast<uint32_t>(candidates.size()), h});
+  return chosen;
+}
+
+PctOracle::PctOracle(uint64_t seed, int depth, uint64_t expected_decisions)
+    : rng_(seed) {
+  SAMYA_CHECK_GE(depth, 0);
+  if (expected_decisions == 0) expected_decisions = 1;
+  for (int i = 0; i < depth; ++i) {
+    change_points_.push_back(rng_.NextUint64(expected_decisions));
+  }
+  // Descending, so the next change point to fire is always at the back.
+  std::sort(change_points_.rbegin(), change_points_.rend());
+}
+
+uint64_t PctOracle::PriorityOf(int32_t chain) {
+  auto it = priorities_.find(chain);
+  if (it != priorities_.end()) return it->second;
+  // Fresh chains draw a high random priority; demotions hand out values
+  // below every initial draw (initial >= 2^32, demoted < 2^32 descending).
+  const uint64_t p = (1ull << 32) + rng_.Next() % (1ull << 32);
+  priorities_[chain] = p;
+  return p;
+}
+
+uint32_t PctOracle::Choose(const std::vector<ScheduleCandidate>& c) {
+  ++decision_count_;
+  uint32_t best = 0;
+  uint64_t best_priority = 0;
+  for (uint32_t i = 0; i < c.size(); ++i) {
+    const uint64_t p = PriorityOf(c[i].from);
+    if (i == 0 || p > best_priority) {
+      best = i;
+      best_priority = p;
+    }
+  }
+  if (!change_points_.empty() && decision_count_ >= change_points_.back()) {
+    change_points_.pop_back();
+    // Preemption point: demote the winning chain below everything else and
+    // re-pick, so a different chain takes over mid-protocol.
+    priorities_[c[best].from] = (1ull << 32) - 1 - next_low_priority_++;
+    best = 0;
+    best_priority = 0;
+    for (uint32_t i = 0; i < c.size(); ++i) {
+      const uint64_t p = PriorityOf(c[i].from);
+      if (i == 0 || p > best_priority) {
+        best = i;
+        best_priority = p;
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace samya::sim

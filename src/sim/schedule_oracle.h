@@ -1,0 +1,172 @@
+#ifndef SAMYA_SIM_SCHEDULE_ORACLE_H_
+#define SAMYA_SIM_SCHEDULE_ORACLE_H_
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/random.h"
+#include "common/time.h"
+
+namespace samya::sim {
+
+/// One deliverable message event the oracle may fire next. Candidates are
+/// presented sorted by (time, seq); index 0 is the event the default FIFO
+/// loop would pop.
+struct ScheduleCandidate {
+  SimTime time = 0;   ///< originally scheduled delivery time
+  uint64_t seq = 0;   ///< queue sequence number (unique per run)
+  int32_t from = -1;  ///< sending node
+  int32_t to = -1;    ///< receiving node
+  uint32_t type = 0;  ///< message type (common/token_api.h registry)
+};
+
+/// One recorded scheduling decision: how many candidates commuted and which
+/// fired. `state_hash` fingerprints the decision context (candidate multiset
+/// plus, when the driver installs a state function, a digest of system
+/// state) — the DFS explorer uses it to prune revisited subtrees.
+struct ChoicePoint {
+  uint32_t chosen = 0;
+  uint32_t num_candidates = 0;
+  uint64_t state_hash = 0;
+};
+
+/// \brief Scheduling decision hook of the simulation event loop.
+///
+/// When attached to a `SimEnvironment`, the loop consults the oracle
+/// whenever the next event is a message delivery and at least one other
+/// delivery is pending within `window()` of it: the oracle picks which of
+/// those commuting deliveries fires next. The chosen message is delivered at
+/// the earliest candidate's time — i.e. the oracle reorders deliveries
+/// within the window, which is exactly the nondeterminism a real
+/// asynchronous network exhibits (a reordering is indistinguishable from a
+/// different draw of link latencies). The simulated clock advances exactly
+/// as under FIFO; only the payload executed at each instant differs.
+///
+/// Timers and other internal events are never reordered: they are
+/// deterministic local computation, not network nondeterminism.
+///
+/// A null oracle (the default) leaves the event loop on its untouched FIFO
+/// hot path — runs are bit-identical to an oracle-less build.
+///
+/// Every decision is recorded into `trace()` so a run can be replayed
+/// (`ReplayOracle`), minimized (ddmin over choices), or branched (DFS).
+class ScheduleOracle {
+ public:
+  virtual ~ScheduleOracle() = default;
+
+  /// Two deliveries commute when their scheduled times are within this
+  /// window of each other. 0 restricts reordering to exactly-equal times.
+  Duration window() const { return window_; }
+  void set_window(Duration w) { window_ = w; }
+
+  /// Optional state digest supplied by the exploration driver; folded into
+  /// every recorded `ChoicePoint::state_hash` for DFS pruning.
+  void set_state_hash_fn(std::function<uint64_t()> fn) {
+    state_fn_ = std::move(fn);
+  }
+
+  /// Called by the event loop. Records the decision, then returns the index
+  /// of the candidate to fire. `candidates.size() >= 2`.
+  uint32_t ChooseAndRecord(const std::vector<ScheduleCandidate>& candidates);
+
+  /// The run's decision log, in decision order.
+  const std::vector<ChoicePoint>& trace() const { return trace_; }
+  uint64_t decisions() const { return trace_.size(); }
+
+  /// Order-insensitive fingerprint of a candidate set (times taken relative
+  /// to the earliest so it is stable across runs with shifted clocks).
+  static uint64_t HashCandidates(const std::vector<ScheduleCandidate>& c);
+
+ protected:
+  /// Implementation hook: pick a candidate index in [0, candidates.size()).
+  virtual uint32_t Choose(const std::vector<ScheduleCandidate>& candidates) = 0;
+
+ private:
+  Duration window_ = Millis(5);
+  std::function<uint64_t()> state_fn_;
+  std::vector<ChoicePoint> trace_;
+};
+
+/// Always picks index 0 — behaviourally identical to a null oracle (the
+/// determinism guard asserts exactly that), while still exercising the
+/// candidate-collection path and recording choice points.
+class FifoOracle : public ScheduleOracle {
+ protected:
+  uint32_t Choose(const std::vector<ScheduleCandidate>& c) override {
+    (void)c;
+    return 0;
+  }
+};
+
+/// Uniformly random walk over the schedule space; the cheapest way to vary
+/// interleavings across seeds.
+class RandomWalkOracle : public ScheduleOracle {
+ public:
+  explicit RandomWalkOracle(uint64_t seed) : rng_(seed) {}
+
+ protected:
+  uint32_t Choose(const std::vector<ScheduleCandidate>& c) override {
+    return static_cast<uint32_t>(rng_.NextUint64(c.size()));
+  }
+
+ private:
+  Rng rng_;
+};
+
+/// \brief PCT-style random-priority scheduler (Burckhardt et al.,
+/// "A Randomized Scheduler with Probabilistic Guarantees of Finding Bugs").
+///
+/// Each communication chain — here keyed by the sending node, the analogue
+/// of a thread — gets a random priority; every decision fires the pending
+/// delivery from the highest-priority chain. `depth` priority-change points
+/// are sampled over the expected decision count: when the decision counter
+/// crosses one, the currently highest-priority chain among the candidates
+/// is demoted below every other, forcing a preemption. With d change points
+/// the schedule detects any bug of preemption depth <= d with probability
+/// >= 1/(n * k^d) — cheap probabilistic coverage of deep interleavings.
+class PctOracle : public ScheduleOracle {
+ public:
+  /// `expected_decisions` scales where the `depth` change points land; it
+  /// need not be exact (PCT's guarantee degrades gracefully).
+  PctOracle(uint64_t seed, int depth, uint64_t expected_decisions);
+
+ protected:
+  uint32_t Choose(const std::vector<ScheduleCandidate>& c) override;
+
+ private:
+  uint64_t PriorityOf(int32_t chain);
+
+  Rng rng_;
+  std::unordered_map<int32_t, uint64_t> priorities_;
+  std::vector<uint64_t> change_points_;  ///< decision counts, descending
+  uint64_t decision_count_ = 0;
+  uint64_t next_low_priority_ = 0;  ///< demotions count down below all others
+};
+
+/// Replays a recorded choice trace: decision i fires `choices[i]` (clamped
+/// to the candidate count, so ddmin-mutated traces stay runnable); decisions
+/// past the end of the trace fall back to FIFO. The deterministic simulator
+/// guarantees the same trace reproduces the same run bit-for-bit.
+class ReplayOracle : public ScheduleOracle {
+ public:
+  explicit ReplayOracle(std::vector<uint32_t> choices)
+      : choices_(std::move(choices)) {}
+
+ protected:
+  uint32_t Choose(const std::vector<ScheduleCandidate>& c) override {
+    if (next_ >= choices_.size()) return 0;
+    const uint32_t raw = choices_[next_++];
+    const uint32_t max = static_cast<uint32_t>(c.size()) - 1;
+    return raw > max ? max : raw;
+  }
+
+ private:
+  std::vector<uint32_t> choices_;
+  size_t next_ = 0;
+};
+
+}  // namespace samya::sim
+
+#endif  // SAMYA_SIM_SCHEDULE_ORACLE_H_

@@ -2,6 +2,7 @@
 
 #include "common/codec.h"
 #include "common/macros.h"
+#include "common/testonly_mutation.h"
 #include "storage/wal.h"
 
 namespace samya::storage {
@@ -79,6 +80,12 @@ Result<std::unique_ptr<FileStableStorage>> FileStableStorage::Open(
   return store;
 }
 
+FileStableStorage::FileStableStorage(std::string path, size_t threshold)
+    : path_(std::move(path)),
+      compaction_threshold_(threshold),
+      mutate_compact_before_apply_(
+          MutationEnabled(kMutationCompactBeforeApply)) {}
+
 FileStableStorage::~FileStableStorage() = default;
 
 Status FileStableStorage::AppendRecord(uint8_t op, const std::string& key,
@@ -119,6 +126,13 @@ Status FileStableStorage::MaybeCompact() {
 Status FileStableStorage::Put(const std::string& key,
                               const std::vector<uint8_t>& value) {
   SAMYA_RETURN_IF_ERROR(AppendRecord(kOpPut, key, value));
+  if (mutate_compact_before_apply_) {
+    // Test-only resurrection of PR 4's bug: compacting from the pre-op map
+    // rewrites the log without the record that was just synced.
+    SAMYA_RETURN_IF_ERROR(MaybeCompact());
+    map_[key] = value;
+    return Status::OK();
+  }
   // Apply to the map *before* compaction may run: a compaction triggered by
   // this very append rewrites the log from the map, and rewriting from the
   // pre-op map would silently drop the record that was just synced.

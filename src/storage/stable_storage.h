@@ -63,8 +63,7 @@ class FileStableStorage : public StableStorage {
   std::vector<std::string> Keys() const override;
 
  private:
-  FileStableStorage(std::string path, size_t threshold)
-      : path_(std::move(path)), compaction_threshold_(threshold) {}
+  FileStableStorage(std::string path, size_t threshold);
 
   /// Appends + syncs one op record. Compaction is the caller's job (via
   /// `MaybeCompact`), and only after the op is applied to `map_`: the
@@ -76,6 +75,9 @@ class FileStableStorage : public StableStorage {
 
   std::string path_;
   size_t compaction_threshold_;
+  /// Cached "compact_before_apply" test-only mutation flag (PR 4's bug, kept
+  /// reachable for checker mutation tests); read once at construction.
+  bool mutate_compact_before_apply_ = false;
   size_t log_records_ = 0;
   std::unique_ptr<WriteAheadLog> wal_;
   std::map<std::string, std::vector<uint8_t>> map_;

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "harness/lin_check.h"
+
 namespace samya::consensus {
 namespace {
 
@@ -84,6 +86,107 @@ TEST(TokenStateMachineTest, ConstraintInvariantUnderRandomOps) {
     sm.Apply(Cmd(acquire ? TokenOp::kAcquire : TokenOp::kRelease, amount));
     ASSERT_GE(sm.acquired(), 0);
     ASSERT_LE(sm.acquired(), 50);
+  }
+}
+
+TEST(TokenStateMachineTest, DuplicateRequestReturnsCachedResponse) {
+  // At-most-once: a retried command (same request id) must not re-apply, and
+  // must return byte-identical output even if the counter has moved since.
+  TokenStateMachine sm(10);
+  const auto acquire = Cmd(TokenOp::kAcquire, 4, /*id=*/100);
+  const auto first = sm.Apply(acquire);
+  EXPECT_TRUE(Decode(first).committed());
+  EXPECT_EQ(sm.acquired(), 4);
+
+  EXPECT_EQ(sm.Apply(acquire), first);
+  EXPECT_EQ(sm.acquired(), 4) << "duplicate acquire was re-applied";
+
+  // Interleave an unrelated op, then retry again: the cached response still
+  // reports the *original* available value (6), not the current one.
+  EXPECT_TRUE(Decode(sm.Apply(Cmd(TokenOp::kAcquire, 3, 101))).committed());
+  const auto retried = Decode(sm.Apply(acquire));
+  EXPECT_TRUE(retried.committed());
+  EXPECT_EQ(retried.value, 6);
+  EXPECT_EQ(sm.acquired(), 7);
+}
+
+TEST(TokenStateMachineTest, DuplicateRejectionStaysRejected) {
+  // A rejection is a decision, not a transient: retrying it after tokens
+  // free up must replay the original rejection, never commit late.
+  TokenStateMachine sm(10);
+  EXPECT_TRUE(Decode(sm.Apply(Cmd(TokenOp::kAcquire, 10, 1))).committed());
+  const auto overdraw = Cmd(TokenOp::kAcquire, 5, /*id=*/2);
+  EXPECT_EQ(Decode(sm.Apply(overdraw)).status, TokenStatus::kRejected);
+  EXPECT_TRUE(Decode(sm.Apply(Cmd(TokenOp::kRelease, 10, 3))).committed());
+  EXPECT_EQ(Decode(sm.Apply(overdraw)).status, TokenStatus::kRejected);
+  EXPECT_EQ(sm.acquired(), 0);
+}
+
+TEST(TokenStateMachineTest, OutOfOrderApplyIsDecidedByLogOrder) {
+  // The log may commit requests in any order relative to client issue order.
+  // A release sequenced before its matching acquire must be rejected (no
+  // outstanding tokens yet); a fresh retry sequenced after the acquire
+  // commits. Replicas applying the same permutation agree exactly.
+  TokenStateMachine a(10), b(10);
+  const std::vector<std::vector<uint8_t>> log = {
+      Cmd(TokenOp::kRelease, 2, 10),  // client issued this *after* id 11
+      Cmd(TokenOp::kAcquire, 5, 11),
+      Cmd(TokenOp::kRelease, 2, 12),  // retry with a fresh id
+  };
+  std::vector<TokenStatus> statuses;
+  for (const auto& cmd : log) {
+    const auto ra = a.Apply(cmd);
+    EXPECT_EQ(ra, b.Apply(cmd));
+    statuses.push_back(Decode(ra).status);
+  }
+  EXPECT_EQ(statuses[0], TokenStatus::kRejected);
+  EXPECT_EQ(statuses[1], TokenStatus::kCommitted);
+  EXPECT_EQ(statuses[2], TokenStatus::kCommitted);
+  EXPECT_EQ(a.acquired(), 3);
+}
+
+TEST(TokenStateMachineTest, AcquireExceedingWholePoolRejectedAtomically) {
+  // An acquire larger than the remaining pool must reject without partially
+  // granting, including one larger than M itself on a fresh machine.
+  TokenStateMachine sm(10);
+  EXPECT_EQ(Decode(sm.Apply(Cmd(TokenOp::kAcquire, 11))).status,
+            TokenStatus::kRejected);
+  EXPECT_EQ(sm.acquired(), 0);
+  EXPECT_TRUE(Decode(sm.Apply(Cmd(TokenOp::kAcquire, 8))).committed());
+  const auto resp = Decode(sm.Apply(Cmd(TokenOp::kAcquire, 3)));
+  EXPECT_EQ(resp.status, TokenStatus::kRejected);
+  EXPECT_EQ(resp.value, 2) << "rejection must still report availability";
+  EXPECT_EQ(sm.acquired(), 8);
+}
+
+TEST(TokenStateMachineTest, MatchesSequentialTokenSpec) {
+  // The replicated state machine and the checker's sequential reference
+  // model (harness::TokenSpec) implement the same Eq.-1 transitions; a long
+  // random sequence (unique ids, so dedup never interferes) must produce
+  // identical commit decisions and identical reported availability.
+  constexpr int64_t kLimit = 25;
+  TokenStateMachine sm(kLimit);
+  harness::TokenSpec spec{kLimit, 0};
+  uint64_t x = 2463534242ULL;
+  for (int i = 0; i < 5000; ++i) {
+    x ^= x << 13; x ^= x >> 7; x ^= x << 17;
+    const int64_t amount = static_cast<int64_t>(x % 12) - 1;  // -1..10
+    const int pick = static_cast<int>((x >> 8) % 3);
+    const TokenOp op = pick == 0   ? TokenOp::kRelease
+                       : pick == 1 ? TokenOp::kRead
+                                   : TokenOp::kAcquire;
+    const auto resp =
+        Decode(sm.Apply(Cmd(op, amount, static_cast<uint64_t>(i + 1))));
+    bool spec_committed = true;
+    switch (op) {
+      case TokenOp::kAcquire: spec_committed = spec.Acquire(amount); break;
+      case TokenOp::kRelease: spec_committed = spec.Release(amount); break;
+      case TokenOp::kRead: break;
+    }
+    ASSERT_EQ(resp.committed(), spec_committed)
+        << "op " << static_cast<int>(op) << " amount " << amount << " at " << i;
+    ASSERT_EQ(resp.value, spec.Read()) << "at " << i;
+    ASSERT_EQ(sm.acquired(), spec.acquired) << "at " << i;
   }
 }
 

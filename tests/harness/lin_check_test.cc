@@ -1,0 +1,167 @@
+// Direct unit tests for the Wing & Gong linearizability checker over
+// hand-built token histories. The integration suites exercise the checker
+// on recorded runs; these pin its verdicts on minimal histories where the
+// correct answer is obvious by inspection — including the strictness knobs
+// (reads/rejections) and the bounded-safety mode used for escrow systems.
+
+#include "harness/lin_check.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace samya::harness {
+namespace {
+
+HistoryOp Op(uint64_t id, TokenOp op, int64_t amount, SimTime invoke,
+             SimTime respond, HistOutcome outcome) {
+  HistoryOp h;
+  h.request_id = id;
+  h.client = static_cast<int32_t>(id % 3);
+  h.op = op;
+  h.amount = amount;
+  h.invoke = invoke;
+  h.respond = respond;
+  h.outcome = outcome;
+  return h;
+}
+
+HistoryOp Committed(uint64_t id, TokenOp op, int64_t amount, SimTime invoke,
+                    SimTime respond) {
+  return Op(id, op, amount, invoke, respond, HistOutcome::kCommitted);
+}
+
+TEST(LinCheckTest, AcceptsSequentialHistory) {
+  // Non-overlapping committed ops in spec order: trivially linearizable.
+  std::vector<HistoryOp> h = {
+      Committed(1, TokenOp::kAcquire, 5, 10, 20),
+      Committed(2, TokenOp::kAcquire, 5, 30, 40),
+      Committed(3, TokenOp::kRelease, 5, 50, 60),
+  };
+  const CheckResult r = CheckHistory(h, CheckOptions::Replicated(10));
+  EXPECT_TRUE(r.ok) << r.violation;
+  EXPECT_TRUE(r.complete);
+  EXPECT_GT(r.states_explored, 0u);
+}
+
+TEST(LinCheckTest, RejectsOverdraw) {
+  // Two committed acquires of 6 against M = 10 cannot both linearize, in
+  // any order, with or without overlap.
+  std::vector<HistoryOp> h = {
+      Committed(1, TokenOp::kAcquire, 6, 10, 50),
+      Committed(2, TokenOp::kAcquire, 6, 20, 40),
+  };
+  const CheckResult r = CheckHistory(h, CheckOptions::Samya(10));
+  EXPECT_FALSE(r.ok);
+  EXPECT_FALSE(r.violation.empty());
+}
+
+TEST(LinCheckTest, ConcurrentOpsMayLinearizeInEitherOrder) {
+  // A release overlapping an acquire makes room for it: only the order
+  // (release, acquire) explains the history, and the checker must find it
+  // even though the acquire was *invoked* first.
+  std::vector<HistoryOp> h = {
+      Committed(1, TokenOp::kAcquire, 10, 0, 5),
+      Committed(2, TokenOp::kAcquire, 4, 10, 40),   // needs the release first
+      Committed(3, TokenOp::kRelease, 10, 12, 30),  // overlaps op 2
+  };
+  const CheckResult r = CheckHistory(h, CheckOptions::Replicated(10));
+  EXPECT_TRUE(r.ok) << r.violation;
+}
+
+TEST(LinCheckTest, StrictReadsCatchStaleValue) {
+  // After a committed acquire of 4 (M = 10), a later read must report 6.
+  std::vector<HistoryOp> stale = {
+      Committed(1, TokenOp::kAcquire, 4, 0, 10),
+      Committed(2, TokenOp::kRead, 0, 20, 30),
+  };
+  stale[1].read_value = 10;  // pre-acquire availability: stale
+  EXPECT_FALSE(CheckHistory(stale, CheckOptions::Replicated(10)).ok);
+  // Samya's preset tolerates the same value (global reads are fuzzy sums),
+  // as long as it stays within [0, M].
+  EXPECT_TRUE(CheckHistory(stale, CheckOptions::Samya(10)).ok);
+  std::vector<HistoryOp> impossible = stale;
+  impossible[1].read_value = 11;  // > M: wrong under every preset
+  EXPECT_FALSE(CheckHistory(impossible, CheckOptions::Samya(10)).ok);
+  std::vector<HistoryOp> exact = stale;
+  exact[1].read_value = 6;
+  EXPECT_TRUE(CheckHistory(exact, CheckOptions::Replicated(10)).ok);
+}
+
+TEST(LinCheckTest, StrictRejectionsCatchSpuriousRejection) {
+  // A rejected acquire of 3 while 9 tokens were free: unjustifiable for a
+  // replicated system, routine for Samya (the local pool may have been dry).
+  std::vector<HistoryOp> h = {
+      Committed(1, TokenOp::kAcquire, 1, 0, 10),
+      Op(2, TokenOp::kAcquire, 3, 20, 30, HistOutcome::kRejected),
+  };
+  EXPECT_FALSE(CheckHistory(h, CheckOptions::Replicated(10)).ok);
+  EXPECT_TRUE(CheckHistory(h, CheckOptions::Samya(10)).ok);
+  // With the pool genuinely exhausted the rejection is justified even
+  // under the strict preset.
+  std::vector<HistoryOp> full = {
+      Committed(3, TokenOp::kAcquire, 10, 0, 10),
+      Op(4, TokenOp::kAcquire, 3, 20, 30, HistOutcome::kRejected),
+  };
+  EXPECT_TRUE(CheckHistory(full, CheckOptions::Replicated(10)).ok);
+}
+
+TEST(LinCheckTest, OpenOpsMayOrMayNotHaveTakenEffect) {
+  // An acquire with no observed response may have landed or not; the
+  // checker must accept both explanations. Here the open acquire of 6
+  // *cannot* have landed (op 2's committed acquire needs the room), so the
+  // only valid explanation skips it — still linearizable.
+  std::vector<HistoryOp> h = {
+      Op(1, TokenOp::kAcquire, 6, 0, HistoryOp::kNoRespond, HistOutcome::kOpen),
+      Committed(2, TokenOp::kAcquire, 6, 10, 20),
+  };
+  EXPECT_TRUE(CheckHistory(h, CheckOptions::Replicated(10)).ok);
+  // But if a server tap confirmed the open op committed, its effect must be
+  // placed, and then the two acquires of 6 overdraw M = 10.
+  h[0].server_committed = true;
+  EXPECT_FALSE(CheckHistory(h, CheckOptions::Replicated(10)).ok);
+}
+
+TEST(LinCheckTest, BoundedSafetyAcceptsSafePlacement) {
+  // Bounded safety only demands that some placement of each committed
+  // effect inside its [invoke, respond] window keeps the counter within
+  // [0, M]; heavily overlapped commits that fit are fine.
+  std::vector<HistoryOp> h = {
+      Committed(1, TokenOp::kAcquire, 4, 0, 30),
+      Committed(2, TokenOp::kAcquire, 4, 0, 30),
+      Committed(3, TokenOp::kRelease, 4, 5, 25),
+  };
+  EXPECT_TRUE(CheckHistory(h, CheckOptions::Bounded(10)).ok);
+}
+
+TEST(LinCheckTest, BoundedSafetyRejectsReadOutsideRange) {
+  // Even without read linearization, a committed read must report a value
+  // in [0, M] — anything else is fabricated.
+  std::vector<HistoryOp> h = {Committed(1, TokenOp::kRead, 0, 0, 10)};
+  h[0].read_value = 11;
+  EXPECT_FALSE(CheckHistory(h, CheckOptions::Bounded(10)).ok);
+  h[0].read_value = 10;
+  EXPECT_TRUE(CheckHistory(h, CheckOptions::Bounded(10)).ok);
+}
+
+TEST(LinCheckTest, BoundedSafetyRejectsOverdraw) {
+  // Even with maximal placement freedom, three committed acquires of 4
+  // against M = 10 with no overlap must exceed the cap.
+  std::vector<HistoryOp> h = {
+      Committed(1, TokenOp::kAcquire, 4, 0, 10),
+      Committed(2, TokenOp::kAcquire, 4, 20, 30),
+      Committed(3, TokenOp::kAcquire, 4, 40, 50),
+  };
+  const CheckResult r = CheckHistory(h, CheckOptions::Bounded(10));
+  EXPECT_FALSE(r.ok);
+  EXPECT_FALSE(r.violation.empty());
+}
+
+TEST(LinCheckTest, EmptyHistoryIsVacuouslyOk) {
+  const CheckResult r = CheckHistory({}, CheckOptions::Samya(10));
+  EXPECT_TRUE(r.ok);
+  EXPECT_TRUE(r.complete);
+}
+
+}  // namespace
+}  // namespace samya::harness

@@ -1,0 +1,130 @@
+// Replays every committed schedule case in
+// tests/integration/schedule_corpus/.
+//
+// Each corpus file is a fully serialized ExploreCase: the scripted scenario,
+// the scheduler (always replay once committed), the recorded oracle choice
+// trace, and optionally a test-only mutation to arm. Cases with an empty
+// `violation_check` are regression guards that must replay clean; cases with
+// one named are known reproducers (today: mutation-armed conservation
+// breaks) that must still produce exactly that violation. The deterministic
+// simulator makes each replay bit-identical, which the determinism test
+// below pins.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "harness/explore.h"
+
+namespace samya::harness {
+namespace {
+
+std::vector<std::filesystem::path> CorpusFiles() {
+  std::vector<std::filesystem::path> files;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(SCHEDULE_CORPUS_DIR)) {
+    if (entry.path().extension() == ".json") files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+ExploreCase LoadCase(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream text;
+  text << in.rdbuf();
+  auto doc = JsonParse(text.str());
+  EXPECT_TRUE(doc.ok()) << path << ": " << doc.status().ToString();
+  auto c = ExploreCase::FromJson(doc.value());
+  EXPECT_TRUE(c.ok()) << path << ": " << c.status().ToString();
+  return c.value();
+}
+
+bool Reproduces(const ExploreRunResult& r, const std::string& check) {
+  for (const AuditViolation& v : r.violations) {
+    if (v.check == check) return true;
+  }
+  if (!r.check.ok &&
+      (check == "linearizability" || check == "bounded_safety")) {
+    return true;
+  }
+  return false;
+}
+
+TEST(ScheduleCorpusTest, CorpusIsNonEmpty) {
+  EXPECT_GE(CorpusFiles().size(), 5u)
+      << "schedule corpus went missing from " << SCHEDULE_CORPUS_DIR;
+}
+
+TEST(ScheduleCorpusTest, EveryCaseReplaysAsRecorded) {
+  for (const auto& path : CorpusFiles()) {
+    SCOPED_TRACE(path.filename().string());
+    const ExploreCase c = LoadCase(path);
+    const ExploreRunResult r = RunExploreCase(c);
+    EXPECT_GT(r.ops_recorded, 0u);
+    if (c.violation_check.empty()) {
+      EXPECT_FALSE(r.violated())
+          << r.failed_check << ": "
+          << (r.violations.empty() ? r.check.violation
+                                   : r.violations.front().detail);
+    } else {
+      EXPECT_TRUE(Reproduces(r, c.violation_check))
+          << "expected a '" << c.violation_check << "' violation, got "
+          << (r.violated() ? r.failed_check : std::string("a clean run"));
+    }
+  }
+}
+
+TEST(ScheduleCorpusTest, ReplayIsDeterministic) {
+  // The corpus contract: a committed schedule reproduces bit-identically.
+  // Two back-to-back replays of the same case must agree on the event
+  // count, every scheduling decision, and every decision-context hash.
+  for (const auto& path : CorpusFiles()) {
+    SCOPED_TRACE(path.filename().string());
+    const ExploreCase c = LoadCase(path);
+    const ExploreRunResult a = RunExploreCase(c);
+    const ExploreRunResult b = RunExploreCase(c);
+    EXPECT_EQ(a.events_executed, b.events_executed);
+    EXPECT_EQ(a.ops_recorded, b.ops_recorded);
+    EXPECT_EQ(a.choices, b.choices);
+    EXPECT_EQ(a.failed_check, b.failed_check);
+    ASSERT_EQ(a.trace.size(), b.trace.size());
+    for (size_t i = 0; i < a.trace.size(); ++i) {
+      EXPECT_EQ(a.trace[i].state_hash, b.trace[i].state_hash) << "decision " << i;
+      EXPECT_EQ(a.trace[i].num_candidates, b.trace[i].num_candidates);
+    }
+  }
+}
+
+TEST(ScheduleCorpusTest, CorpusFilesAreCanonicalJson) {
+  // Committed files stay in JsonDump's canonical indent-2 form, so
+  // regenerating a case produces a minimal diff.
+  for (const auto& path : CorpusFiles()) {
+    SCOPED_TRACE(path.filename().string());
+    std::ifstream in(path);
+    std::ostringstream text;
+    text << in.rdbuf();
+    auto doc = JsonParse(text.str());
+    ASSERT_TRUE(doc.ok());
+    EXPECT_EQ(text.str(), JsonDump(doc.value(), /*indent=*/2));
+  }
+}
+
+TEST(ScheduleCorpusTest, CaseRoundTripsThroughJson) {
+  for (const auto& path : CorpusFiles()) {
+    SCOPED_TRACE(path.filename().string());
+    const ExploreCase c = LoadCase(path);
+    auto back = ExploreCase::FromJson(c.ToJson());
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(JsonDump(c.ToJson()), JsonDump(back.value().ToJson()));
+  }
+}
+
+}  // namespace
+}  // namespace samya::harness

@@ -1,0 +1,98 @@
+// The schedule-oracle hook must be zero-cost *and* zero-effect when unused:
+// a run with no oracle attached and a run with the FifoOracle (hook armed,
+// but always choosing the event FIFO would pop) must be bit-identical — the
+// oracle only ever changes behaviour when it actually deviates from choice
+// 0. The same harness pins the repeatability contracts of the randomized
+// schedulers: same seed, same schedule.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "harness/experiment.h"
+#include "harness/explore.h"
+#include "sim/schedule_oracle.h"
+
+namespace samya::harness {
+namespace {
+
+using Digest = std::tuple<uint64_t, uint64_t, uint64_t, uint64_t, uint64_t,
+                          uint64_t, uint64_t, int64_t, uint64_t, double>;
+
+Digest RunOnce(sim::ScheduleOracle* oracle) {
+  ExperimentOptions opts;
+  opts.system = SystemKind::kSamyaMajority;
+  opts.duration = Seconds(10);
+  opts.max_tokens = 300;  // scarce enough to trigger redistributions
+  opts.seed = 11;
+  opts.oracle = oracle;
+  Experiment experiment(opts);
+  experiment.Setup();
+  const ExperimentResult r = experiment.Run();
+  return Digest(r.events_executed, r.aggregate.committed_acquires,
+                r.aggregate.committed_releases, r.aggregate.rejected,
+                r.network.messages_sent, r.network.messages_delivered,
+                r.network.bytes_sent, experiment.TotalSiteTokens(),
+                r.aggregate.latency.count(),
+                r.aggregate.latency.Percentile(99));
+}
+
+TEST(ScheduleDeterminismTest, FifoOracleMatchesNoOracleBitIdentical) {
+  const Digest off = RunOnce(nullptr);
+  sim::FifoOracle fifo;
+  const Digest on = RunOnce(&fifo);
+  EXPECT_EQ(off, on);
+  // The hook must actually have been exercised, not silently bypassed: a
+  // full Azure-trace run has plenty of in-window delivery pairs.
+  EXPECT_GT(fifo.decisions(), 0u);
+  for (const sim::ChoicePoint& cp : fifo.trace()) {
+    EXPECT_EQ(cp.chosen, 0u);
+    EXPECT_GE(cp.num_candidates, 2u);
+  }
+}
+
+TEST(ScheduleDeterminismTest, NoOracleRunsAreRepeatable) {
+  EXPECT_EQ(RunOnce(nullptr), RunOnce(nullptr));
+}
+
+TEST(ScheduleDeterminismTest, PctSameSeedSameSchedule) {
+  sim::PctOracle a(/*seed=*/7, /*depth=*/3, /*expected_decisions=*/500);
+  sim::PctOracle b(/*seed=*/7, /*depth=*/3, /*expected_decisions=*/500);
+  const Digest da = RunOnce(&a);
+  const Digest db = RunOnce(&b);
+  EXPECT_EQ(da, db);
+  ASSERT_EQ(a.trace().size(), b.trace().size());
+  for (size_t i = 0; i < a.trace().size(); ++i) {
+    EXPECT_EQ(a.trace()[i].chosen, b.trace()[i].chosen) << "decision " << i;
+  }
+}
+
+TEST(ScheduleDeterminismTest, ReplayReproducesRandomWalkRun) {
+  sim::RandomWalkOracle walk(/*seed=*/3);
+  const Digest original = RunOnce(&walk);
+  std::vector<uint32_t> choices;
+  bool deviated = false;
+  for (const sim::ChoicePoint& cp : walk.trace()) {
+    choices.push_back(cp.chosen);
+    deviated = deviated || cp.chosen != 0;
+  }
+  EXPECT_TRUE(deviated) << "random walk never left the FIFO path";
+  sim::ReplayOracle replay(choices);
+  EXPECT_EQ(original, RunOnce(&replay));
+}
+
+TEST(ScheduleDeterminismTest, RandomWalkActuallyReorders) {
+  // Different interleavings are allowed to (and here, do) change observable
+  // metrics relative to FIFO — otherwise the explorer would be a no-op.
+  // Only the run *digest* may differ; conservation must hold either way,
+  // which RunExploreCase's auditor asserts across the whole sweep.
+  ExploreCase c;
+  c.scheduler = SchedulerKind::kRandom;
+  c.seed = 3;
+  const ExploreRunResult r = RunExploreCase(c);
+  EXPECT_FALSE(r.violated()) << r.failed_check;
+  EXPECT_GT(r.trace.size(), 0u);
+}
+
+}  // namespace
+}  // namespace samya::harness

@@ -76,6 +76,108 @@ TEST(EventQueueTest, PopMovesCallbacksWithoutCopying) {
   EXPECT_GT(moves, 0);
 }
 
+// Equal-time ordering must be a property of the (time, seq) key alone, not
+// of slot numbers: after pops recycle slots through the free list, freshly
+// pushed events reuse *lower* slot indices than older pending ones, so any
+// accidental slot-order dependence would fire the recycled events early.
+TEST(EventQueueTest, TiesBreakBySequenceAcrossSlotRecycling) {
+  EventQueue q;
+  // Phase 1: fill slots 0..19, then pop the ten earliest (recycling their
+  // slots) while ten equal-time events stay pending in slots 10..19.
+  for (uint64_t seq = 0; seq < 10; ++seq) q.Push(1, seq, [] {});
+  for (uint64_t seq = 10; seq < 20; ++seq) q.Push(5, seq, [] {});
+  for (uint64_t seq = 0; seq < 10; ++seq) EXPECT_EQ(q.Pop().seq, seq);
+  // Phase 2: new equal-time events land in the recycled slots 9..0 with
+  // *later* sequence numbers than the pending ones.
+  for (uint64_t seq = 20; seq < 30; ++seq) q.Push(5, seq, [] {});
+  for (uint64_t seq = 10; seq < 30; ++seq) {
+    EXPECT_EQ(q.Pop().seq, seq);
+  }
+  EXPECT_TRUE(q.empty());
+}
+
+// The simulation loop's two-phase path: PopEntry leaves the callback parked,
+// InvokeAndRecycle moves it out, runs it, and recycles the slot — including
+// when the callback reentrantly pushes (which may grow the slot table).
+TEST(EventQueueTest, PopEntryInvokeAndRecycleFiresInOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  uint64_t seq = 0;
+  for (int i = 0; i < 8; ++i) {
+    q.Push(7, seq++, [&order, i] { order.push_back(i); });
+  }
+  // The first callback reentrantly schedules two more equal-time events;
+  // they must fire after every already-pending one.
+  int extra = 0;
+  q.Push(3, seq++, [&] {
+    q.Push(7, seq++, [&extra] { ++extra; });
+    q.Push(7, seq++, [&extra] { ++extra; });
+  });
+  while (!q.empty()) {
+    const EventQueue::Popped p = q.PopEntry();
+    q.InvokeAndRecycle(p.slot);
+  }
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7}));
+  EXPECT_EQ(extra, 2);
+}
+
+// Meta tracking + PopByKey: removing an entry from the middle of the heap
+// (the oracle's non-FIFO choice) must leave the remaining events in exact
+// (time, seq) order, across both sift directions and slot reuse.
+TEST(EventQueueTest, PopByKeyPreservesHeapOrder) {
+  Rng rng(31);
+  EventQueue q;
+  q.EnableMetaTracking();
+  uint64_t seq = 0;
+  for (int i = 0; i < 200; ++i) {
+    const SimTime t = rng.UniformInt(0, 50);
+    if (i % 3 == 0) {
+      q.Push(t, seq++, [] {});  // timer/internal: invisible to the oracle
+    } else {
+      q.PushMessage(t, seq++, [] {},
+                    EventQueue::MsgMeta{static_cast<int32_t>(i % 5),
+                                        static_cast<int32_t>(i % 7), 10});
+    }
+  }
+  // Pull a handful of mid-heap messages by key, as OracleStep would.
+  for (int round = 0; round < 20; ++round) {
+    std::vector<EventQueue::PendingRef> pending;
+    q.CollectMessagesUntil(25, &pending);
+    if (pending.empty()) break;
+    const EventQueue::PendingRef& pick =
+        pending[static_cast<size_t>(rng.UniformInt(
+            0, static_cast<int>(pending.size()) - 1))];
+    const EventQueue::Popped p = q.PopByKey(pick.key);
+    EXPECT_EQ(p.seq, pick.seq);
+    q.InvokeAndRecycle(p.slot);
+    // Reuse the freed slot under meta tracking: the new push must carry its
+    // own meta, not the removed message's.
+    q.Push(60, seq++, [] {});
+  }
+  SimTime prev_time = -1;
+  uint64_t prev_seq = 0;
+  while (!q.empty()) {
+    const Event e = q.Pop();
+    ASSERT_GE(e.time, prev_time);
+    if (e.time == prev_time) ASSERT_GT(e.seq, prev_seq);
+    prev_time = e.time;
+    prev_seq = e.seq;
+  }
+}
+
+TEST(EventQueueTest, CollectMessagesSkipsTimersAndLateEvents) {
+  EventQueue q;
+  q.EnableMetaTracking();
+  q.Push(10, 0, [] {});  // timer
+  q.PushMessage(10, 1, [] {}, EventQueue::MsgMeta{1, 2, 10});
+  q.PushMessage(15, 2, [] {}, EventQueue::MsgMeta{2, 3, 11});
+  q.PushMessage(99, 3, [] {}, EventQueue::MsgMeta{3, 4, 12});
+  std::vector<EventQueue::PendingRef> pending;
+  q.CollectMessagesUntil(20, &pending);
+  ASSERT_EQ(pending.size(), 2u);
+  EXPECT_EQ(pending[0].seq + pending[1].seq, 3u);  // seqs 1 and 2, any order
+}
+
 TEST(EventQueueTest, RandomizedOrderingProperty) {
   Rng rng(21);
   EventQueue q;

@@ -1,0 +1,393 @@
+// samya_explore — schedule-space exploration with linearizability checking.
+//
+// Three modes over the small fixed-contention scenario (3 sites, a burst of
+// scripted acquires/releases/reads per region):
+//
+//   sweep (default): seeds x schedulers (random walk, PCT) x systems. Every
+//     run records its oracle decision trace and feeds the client/server
+//     history to the WGL linearizability checker (token-counter spec) or the
+//     bounded-safety checker for escrow-style baselines, with the invariant
+//     auditor armed on Samya variants. A violating schedule is ddmin-
+//     minimized to a minimal choice trace and written as a replayable JSON
+//     case, ready to commit to tests/integration/schedule_corpus/.
+//
+//   dfs: bounded exhaustive search — every schedule within --max-depth
+//     deviations from FIFO is executed (state-hash pruned), reporting
+//     explored-state counts and whether the space was exhausted.
+//
+//   replay: re-runs a corpus case file and verifies its recorded verdict
+//     (clean, or the named violation) reproduces.
+//
+// Usage:
+//   samya_explore [--mode sweep|dfs|replay] [--seeds N] [--seed-base N]
+//                 [--systems a,b] [--schedulers random,pct] [--pct-depth N]
+//                 [--sites N] [--max-tokens N] [--window-ms N]
+//                 [--duration-s N] [--mutation NAME] [--corpus DIR]
+//                 [--emit-corpus] [--no-shrink] [--threads N]
+//                 [--max-depth N] [--max-runs N] [--case FILE] [--list]
+//
+// Exit status: 0 when every configuration matched expectations, 1 otherwise.
+//
+// Examples:
+//   samya_explore --seeds 8                         # randomized sweep
+//   samya_explore --mode dfs --max-depth 8          # exhaust small config
+//   samya_explore --mode replay --case tests/integration/schedule_corpus/x.json
+//   samya_explore --mutation alloc_remainder --seeds 1   # must violate
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "harness/chaos.h"
+#include "harness/explore.h"
+#include "harness/parallel_runner.h"
+
+using namespace samya;           // NOLINT — tool code
+using namespace samya::harness;  // NOLINT
+
+namespace {
+
+void Usage() {
+  std::fprintf(
+      stderr,
+      "usage: samya_explore [--mode sweep|dfs|replay] [--seeds N]\n"
+      "                     [--seed-base N] [--systems a,b]\n"
+      "                     [--schedulers random,pct] [--pct-depth N]\n"
+      "                     [--sites N] [--max-tokens N] [--window-ms N]\n"
+      "                     [--duration-s N] [--mutation NAME]\n"
+      "                     [--corpus DIR] [--emit-corpus] [--no-shrink]\n"
+      "                     [--threads N] [--max-depth N] [--max-runs N]\n"
+      "                     [--case FILE] [--list]\n"
+      "systems: samya_majority samya_any multipaxsys cockroach_like\n"
+      "         demarcation site_escrow ...  schedulers: fifo random pct\n");
+}
+
+std::vector<std::string> SplitCsv(const std::string& s) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (start <= s.size()) {
+    const size_t comma = s.find(',', start);
+    if (comma == std::string::npos) {
+      out.push_back(s.substr(start));
+      break;
+    }
+    out.push_back(s.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return out;
+}
+
+std::string CaseBasename(const std::string& corpus_dir, const ExploreCase& c) {
+  std::string name = corpus_dir + "/explore_" + SystemIdName(c.system) +
+                     "_" + SchedulerIdName(c.scheduler) + "_seed" +
+                     std::to_string(c.seed);
+  if (!c.mutation.empty()) name += "_mut_" + c.mutation;
+  return name;
+}
+
+bool WriteCase(const std::string& corpus_dir, const ExploreCase& c) {
+  const std::string path = CaseBasename(corpus_dir, c) + ".json";
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  out << JsonDump(c.ToJson(), /*indent=*/2);
+  std::printf("  wrote %s\n", path.c_str());
+  return true;
+}
+
+void PrintRun(const ExploreCase& c, const ExploreRunResult& r) {
+  std::printf("%-24s %-7s seed=%-4llu decisions=%-5zu ops=%-3llu %s",
+              SystemIdName(c.system), SchedulerIdName(c.scheduler),
+              static_cast<unsigned long long>(c.seed), r.trace.size(),
+              static_cast<unsigned long long>(r.ops_recorded),
+              r.violated() ? "VIOLATION" : "ok");
+  if (r.violated()) {
+    std::printf(" [%s]", r.failed_check.c_str());
+  }
+  std::printf(" (checker: %llu states, %llu cached%s)\n",
+              static_cast<unsigned long long>(r.check.states_explored),
+              static_cast<unsigned long long>(r.check.cache_hits),
+              r.check.complete ? "" : ", budget hit");
+  for (const AuditViolation& v : r.violations) {
+    std::printf("    t=%s [%s] %s\n", FormatDuration(v.at).c_str(),
+                v.check.c_str(), v.detail.c_str());
+  }
+  if (!r.check.ok) {
+    std::printf("    checker: %s\n", r.check.violation.c_str());
+  }
+}
+
+int RunReplay(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot read %s\n", path.c_str());
+    return 2;
+  }
+  std::stringstream buf;
+  buf << in.rdbuf();
+  auto parsed = JsonParse(buf.str());
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "parse error: %s\n",
+                 parsed.status().message().c_str());
+    return 2;
+  }
+  auto loaded = ExploreCase::FromJson(parsed.value());
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "bad case: %s\n", loaded.status().message().c_str());
+    return 2;
+  }
+  const ExploreCase& c = loaded.value();
+  const ExploreRunResult r = RunExploreCase(c);
+  PrintRun(c, r);
+  const bool expect_violation = !c.violation_check.empty();
+  if (expect_violation != r.violated()) {
+    std::printf("replay MISMATCH: expected %s, got %s\n",
+                expect_violation ? c.violation_check.c_str() : "clean",
+                r.violated() ? r.failed_check.c_str() : "clean");
+    return 1;
+  }
+  std::printf("replay ok: %s reproduced\n",
+              expect_violation ? c.violation_check.c_str() : "clean run");
+  return 0;
+}
+
+int RunDfs(ExploreCase base, const DfsOptions& dopts) {
+  std::printf("dfs: %s seed=%llu sites=%d M=%lld depth<=%u runs<=%llu\n",
+              SystemIdName(base.system),
+              static_cast<unsigned long long>(base.seed), base.num_sites,
+              static_cast<long long>(base.max_tokens), dopts.max_depth,
+              static_cast<unsigned long long>(dopts.max_runs));
+  const DfsStats st = ExploreDfs(base, dopts);
+  std::printf("dfs: %llu runs, %llu states, %llu pruned, deepest branch %u, "
+              "%s, %llu violating run(s)\n",
+              static_cast<unsigned long long>(st.runs),
+              static_cast<unsigned long long>(st.states),
+              static_cast<unsigned long long>(st.prunes), st.deepest_branch,
+              st.exhausted ? "EXHAUSTED" : "budget hit",
+              static_cast<unsigned long long>(st.violations));
+  if (!st.failing_choices.empty() || !st.failed_check.empty()) {
+    std::printf("dfs: first violation [%s] choices = [", st.failed_check.c_str());
+    for (size_t i = 0; i < st.failing_choices.size(); ++i) {
+      std::printf("%s%u", i == 0 ? "" : ",", st.failing_choices[i]);
+    }
+    std::printf("]\n");
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string mode = "sweep";
+  int seeds = 10;
+  uint64_t seed_base = 1;
+  std::vector<SystemKind> systems = {SystemKind::kSamyaMajority,
+                                     SystemKind::kSamyaAny};
+  std::vector<SchedulerKind> schedulers = {SchedulerKind::kRandom,
+                                           SchedulerKind::kPct};
+  int pct_depth = 3;
+  int sites = 3;
+  int64_t max_tokens = 31;
+  int window_ms = 5;
+  int duration_s = 3;
+  std::string mutation;
+  std::string corpus_dir;
+  std::string case_file;
+  bool shrink = true;
+  bool emit_corpus = false;
+  int threads = 0;
+  bool list_only = false;
+  DfsOptions dopts;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        Usage();
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--mode") {
+      mode = next();
+    } else if (arg == "--seeds") {
+      seeds = std::atoi(next());
+    } else if (arg == "--seed-base") {
+      seed_base = static_cast<uint64_t>(std::atoll(next()));
+    } else if (arg == "--systems") {
+      systems.clear();
+      for (const std::string& name : SplitCsv(next())) {
+        SystemKind kind;
+        if (!SystemKindFromId(name, &kind)) {
+          std::fprintf(stderr, "unknown system: %s\n", name.c_str());
+          return 2;
+        }
+        systems.push_back(kind);
+      }
+    } else if (arg == "--schedulers") {
+      schedulers.clear();
+      for (const std::string& name : SplitCsv(next())) {
+        SchedulerKind kind;
+        if (!SchedulerKindFromId(name, &kind)) {
+          std::fprintf(stderr, "unknown scheduler: %s\n", name.c_str());
+          return 2;
+        }
+        schedulers.push_back(kind);
+      }
+    } else if (arg == "--pct-depth") {
+      pct_depth = std::atoi(next());
+    } else if (arg == "--sites") {
+      sites = std::atoi(next());
+    } else if (arg == "--max-tokens") {
+      max_tokens = std::atoll(next());
+    } else if (arg == "--window-ms") {
+      window_ms = std::atoi(next());
+    } else if (arg == "--duration-s") {
+      duration_s = std::atoi(next());
+    } else if (arg == "--mutation") {
+      mutation = next();
+    } else if (arg == "--corpus") {
+      corpus_dir = next();
+    } else if (arg == "--case") {
+      case_file = next();
+    } else if (arg == "--no-shrink") {
+      shrink = false;
+    } else if (arg == "--emit-corpus") {
+      emit_corpus = true;
+    } else if (arg == "--threads") {
+      threads = std::atoi(next());
+    } else if (arg == "--max-depth") {
+      dopts.max_depth = static_cast<uint32_t>(std::atoi(next()));
+    } else if (arg == "--max-runs") {
+      dopts.max_runs = static_cast<uint64_t>(std::atoll(next()));
+    } else if (arg == "--list") {
+      list_only = true;
+    } else {
+      Usage();
+      return arg == "--help" ? 0 : 2;
+    }
+  }
+
+  const auto make_case = [&](SystemKind system, SchedulerKind sched,
+                             uint64_t seed) {
+    ExploreCase c;
+    c.system = system;
+    c.scheduler = sched;
+    c.seed = seed;
+    c.num_sites = sites;
+    c.max_tokens = max_tokens;
+    c.duration = Seconds(duration_s);
+    c.window = Millis(window_ms);
+    c.pct_depth = pct_depth;
+    c.mutation = mutation;
+    return c;
+  };
+
+  if (mode == "replay") {
+    if (case_file.empty()) {
+      std::fprintf(stderr, "--mode replay needs --case FILE\n");
+      return 2;
+    }
+    return RunReplay(case_file);
+  }
+
+  if (mode == "dfs") {
+    return RunDfs(make_case(systems.front(), SchedulerKind::kReplay,
+                            seed_base),
+                  dopts);
+  }
+
+  if (mode != "sweep") {
+    Usage();
+    return 2;
+  }
+
+  std::vector<ExploreCase> cases;
+  for (SystemKind system : systems) {
+    for (SchedulerKind sched : schedulers) {
+      for (int s = 0; s < seeds; ++s) {
+        cases.push_back(
+            make_case(system, sched, seed_base + static_cast<uint64_t>(s)));
+      }
+    }
+  }
+  std::printf("samya_explore: %zu configs (%zu systems x %zu schedulers x %d "
+              "seeds), %d sites, M=%lld%s\n",
+              cases.size(), systems.size(), schedulers.size(), seeds, sites,
+              static_cast<long long>(max_tokens),
+              mutation.empty() ? "" : (" [mutation " + mutation + "]").c_str());
+  if (list_only) {
+    for (const ExploreCase& c : cases) {
+      std::printf("  %s %s seed=%llu\n", SystemIdName(c.system),
+                  SchedulerIdName(c.scheduler),
+                  static_cast<unsigned long long>(c.seed));
+    }
+    return 0;
+  }
+
+  // Test-only mutations are process-global flags, so mutated sweeps must not
+  // share the process with concurrent runs.
+  if (!mutation.empty()) threads = 1;
+
+  std::vector<ExploreRunResult> results(cases.size());
+  RunIndexed(cases.size(), threads,
+             [&](size_t i) { results[i] = RunExploreCase(cases[i]); });
+
+  int violating = 0;
+  for (size_t i = 0; i < cases.size(); ++i) {
+    ExploreCase& c = cases[i];
+    const ExploreRunResult& r = results[i];
+    PrintRun(c, r);
+    // Corpus cases replay a recorded trace, so pin the schedule and the
+    // scenario regardless of which scheduler found it.
+    const auto pin_for_replay = [&](ExploreCase* out,
+                                    const std::vector<uint32_t>& choices) {
+      out->scheduler = SchedulerKind::kReplay;
+      out->choices = choices;
+      while (!out->choices.empty() && out->choices.back() == 0) {
+        out->choices.pop_back();
+      }
+      if (out->scripts.empty()) {
+        out->scripts = DefaultExploreScripts(out->max_tokens);
+      }
+    };
+    if (!r.violated()) {
+      if (emit_corpus && !corpus_dir.empty()) {
+        ExploreCase guard = c;
+        pin_for_replay(&guard, r.choices);
+        guard.note = "regression guard: swept clean by samya_explore";
+        WriteCase(corpus_dir, guard);
+      }
+      continue;
+    }
+    ++violating;
+    ExploreCase repro = c;
+    pin_for_replay(&repro, r.choices);
+    repro.violation_check = r.failed_check;
+    if (shrink) {
+      int runs_used = 0;
+      const size_t before = repro.choices.size();
+      repro = ShrinkChoices(repro, /*max_runs=*/300, &runs_used);
+      std::printf("  shrunk %zu -> %zu choices in %d runs\n", before,
+                  repro.choices.size(), runs_used);
+    }
+    if (!corpus_dir.empty()) {
+      repro.note = "found by samya_explore; minimized by ddmin";
+      WriteCase(corpus_dir, repro);
+    }
+  }
+
+  std::printf("\nsamya_explore: %d/%zu configs violated\n", violating,
+              cases.size());
+  // Under a mutation the sweep *must* catch the bug somewhere in the budget;
+  // clean code must never flag at all.
+  if (!mutation.empty()) return violating > 0 ? 0 : 1;
+  return violating == 0 ? 0 : 1;
+}
