@@ -1,0 +1,143 @@
+// Conservative-window PDES scaling bench (DESIGN.md §11). Runs the
+// canonical Fig 3b configuration (Samya Avantan[(n+1)/2], 20 simulated
+// minutes) serially and then on 2/4/8 PDES workers, asserts every parallel
+// run is bit-identical to the serial one, and emits BENCH_pdes.json with
+// the wall-clock scaling table.
+//
+// Exit status reflects *correctness only* (digest identity): speedup is
+// reported, not gated, because CI machines may expose fewer cores than the
+// worker counts swept here. --smoke shortens the run for CI.
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <tuple>
+
+#include "bench_util.h"
+
+using namespace samya;          // NOLINT
+using namespace samya::bench;   // NOLINT
+using namespace samya::harness; // NOLINT
+
+namespace {
+
+double Seconds(std::chrono::steady_clock::time_point a,
+               std::chrono::steady_clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+ExperimentOptions CanonicalOptions(bool smoke, int workers) {
+  ExperimentOptions opts;  // Fig 3b defaults: Samya Av[(n+1)/2], 5 sites
+  opts.system = SystemKind::kSamyaMajority;
+  opts.duration = smoke ? Minutes(2) : Minutes(20);
+  opts.pdes_workers = workers;
+  return opts;
+}
+
+/// Everything a run can disagree on, cheap enough to compare exactly.
+using Digest = std::tuple<uint64_t, uint64_t, uint64_t, uint64_t, uint64_t,
+                          uint64_t, uint64_t, double>;
+
+Digest DigestOf(const ExperimentResult& r) {
+  return {r.events_executed,
+          r.aggregate.committed_acquires,
+          r.aggregate.committed_releases,
+          r.aggregate.rejected,
+          r.network.messages_sent,
+          r.network.messages_delivered,
+          r.network.bytes_sent,
+          r.aggregate.latency.P99()};
+}
+
+struct Row {
+  int workers = 1;
+  double wall = 0;
+  double events_per_sec = 0;
+  bool pdes_active = false;
+  std::string fallback;
+  Digest digest;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  Banner("bench_pdes", "conservative-window PDES scaling vs the serial loop");
+  if (smoke) std::printf("[--smoke: 2 simulated minutes]\n");
+
+  std::vector<Row> rows;
+  const int reps = smoke ? 1 : 3;
+  for (int workers : {1, 2, 4, 8}) {
+    Row row;
+    row.workers = workers;
+    double best_wall = 1e18;
+    for (int rep = 0; rep < reps; ++rep) {
+      Experiment experiment(CanonicalOptions(smoke, workers));
+      experiment.Setup();
+      const auto t0 = std::chrono::steady_clock::now();
+      auto r = experiment.Run();
+      const auto t1 = std::chrono::steady_clock::now();
+      const double wall = Seconds(t0, t1);
+      if (wall < best_wall) {
+        best_wall = wall;
+        row.events_per_sec = static_cast<double>(r.events_executed) / wall;
+      }
+      row.pdes_active = experiment.pdes_active();
+      row.fallback = experiment.pdes_fallback_reason();
+      row.digest = DigestOf(r);
+    }
+    row.wall = best_wall;
+    std::printf("workers=%d: %.3fs wall, %.0f events/sec%s%s\n", workers,
+                row.wall, row.events_per_sec,
+                row.pdes_active ? " [pdes]" : " [serial: ",
+                row.pdes_active ? "" : (row.fallback + "]").c_str());
+    rows.push_back(row);
+  }
+
+  bool identical = true;
+  for (const Row& row : rows) {
+    if (row.digest != rows[0].digest) {
+      std::printf("MISMATCH: workers=%d differs from the serial run\n",
+                  row.workers);
+      identical = false;
+    }
+  }
+  const double serial_wall = rows[0].wall;
+  std::printf("\nscaling (vs workers=1):");
+  for (const Row& row : rows) {
+    std::printf("  %dw=%.2fx", row.workers, serial_wall / row.wall);
+  }
+  std::printf("   results %s\n", identical ? "identical" : "MISMATCH");
+
+  FILE* out = std::fopen("BENCH_pdes.json", "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_pdes.json\n");
+    return 1;
+  }
+  std::fprintf(out, "{\n");
+  std::fprintf(out, "  \"config\": \"fig3b samya_majority %s\",\n",
+               smoke ? "2min (smoke)" : "20min");
+  std::fprintf(out, "  \"smoke\": %s,\n", smoke ? "true" : "false");
+  std::fprintf(out, "  \"hardware_threads\": %d,\n", DefaultRunnerThreads());
+  std::fprintf(out, "  \"results_identical\": %s,\n",
+               identical ? "true" : "false");
+  std::fprintf(out, "  \"runs\": [\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& row = rows[i];
+    std::fprintf(out, "    {\"workers\": %d, \"wall_seconds\": %.4f, "
+                 "\"events_per_sec\": %.0f, \"speedup_vs_serial\": %.3f, "
+                 "\"pdes_active\": %s}%s\n",
+                 row.workers, row.wall, row.events_per_sec,
+                 serial_wall / row.wall, row.pdes_active ? "true" : "false",
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n");
+  std::fprintf(out, "}\n");
+  std::fclose(out);
+  std::printf("wrote BENCH_pdes.json\n");
+  return identical ? 0 : 1;
+}

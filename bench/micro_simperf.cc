@@ -19,6 +19,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 
 #include "bench_util.h"
 #include "harness/parallel_runner.h"
@@ -39,21 +40,21 @@ double Seconds(std::chrono::steady_clock::time_point a,
   return std::chrono::duration<double>(b - a).count();
 }
 
-ExperimentOptions CanonicalOptions() {
+ExperimentOptions CanonicalOptions(bool smoke) {
   ExperimentOptions opts;  // Fig 3b defaults: Samya Av[(n+1)/2], 5 sites
   opts.system = SystemKind::kSamyaMajority;
-  opts.duration = Minutes(20);
+  opts.duration = smoke ? Minutes(2) : Minutes(20);
   return opts;
 }
 
-std::vector<ExperimentOptions> SweepOptions() {
+std::vector<ExperimentOptions> SweepOptions(bool smoke) {
   std::vector<ExperimentOptions> sweep;
   for (uint64_t seed : {42u, 1u, 7u, 1234u, 98765u}) {
     for (SystemKind system :
          {SystemKind::kSamyaMajority, SystemKind::kMultiPaxSys}) {
       ExperimentOptions opts;
       opts.system = system;
-      opts.duration = Minutes(20);
+      opts.duration = smoke ? Minutes(2) : Minutes(20);
       opts.seed = seed;
       opts.trace.seed = seed * 31 + 5;
       sweep.push_back(opts);
@@ -64,15 +65,20 @@ std::vector<ExperimentOptions> SweepOptions() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
   Banner("micro_simperf", "simulator hot-path events/sec + sweep speedup");
+  if (smoke) std::printf("[--smoke: 2 simulated minutes, 1 rep]\n");
 
-  // --- canonical single run, best of five --------------------------------
+  // --- canonical single run, best of five (one under --smoke) ------------
   double best_wall = 1e18;
   uint64_t events = 0, messages = 0, committed = 0;
-  for (int rep = 0; rep < 5; ++rep) {
+  for (int rep = 0; rep < (smoke ? 1 : 5); ++rep) {
     const auto t0 = std::chrono::steady_clock::now();
-    auto r = RunSystem(CanonicalOptions());
+    auto r = RunSystem(CanonicalOptions(smoke));
     const auto t1 = std::chrono::steady_clock::now();
     const double wall = Seconds(t0, t1);
     std::printf("canonical run %d: %.3fs  (%.0f events/sec)\n", rep + 1, wall,
@@ -87,9 +93,9 @@ int main() {
 
   // --- sweep: sequential vs parallel -------------------------------------
   const auto s0 = std::chrono::steady_clock::now();
-  const auto seq = RunAll(SweepOptions(), /*threads=*/1);
+  const auto seq = RunAll(SweepOptions(smoke), /*threads=*/1);
   const auto s1 = std::chrono::steady_clock::now();
-  const auto par = RunAll(SweepOptions(), /*threads=*/0);
+  const auto par = RunAll(SweepOptions(smoke), /*threads=*/0);
   const auto s2 = std::chrono::steady_clock::now();
   const double seq_wall = Seconds(s0, s1);
   const double par_wall = Seconds(s1, s2);
@@ -119,8 +125,10 @@ int main() {
     return 1;
   }
   std::fprintf(out, "{\n");
+  std::fprintf(out, "  \"smoke\": %s,\n", smoke ? "true" : "false");
   std::fprintf(out, "  \"canonical_run\": {\n");
-  std::fprintf(out, "    \"config\": \"fig3b samya_majority 20min\",\n");
+  std::fprintf(out, "    \"config\": \"fig3b samya_majority %s\",\n",
+               smoke ? "2min (smoke)" : "20min");
   std::fprintf(out, "    \"wall_seconds\": %.4f,\n", best_wall);
   std::fprintf(out, "    \"events_executed\": %llu,\n",
                static_cast<unsigned long long>(events));

@@ -42,7 +42,9 @@ Site::~Site() = default;
 
 void Site::Start() {
   tracer_ = network()->tracer();
-  if (obs::MetricsRegistry* mr = network()->metrics()) {
+  // The shard-local registry under PDES (merged in partition order at run
+  // end), the primary one otherwise.
+  if (obs::MetricsRegistry* mr = network()->metrics_for(id())) {
     obs::MetricLabels labels;
     labels.site = id();
     labels.protocol = ProtocolName();

@@ -10,6 +10,7 @@
 #include "common/macros.h"
 #include "common/testonly_mutation.h"
 #include "core/app_manager.h"
+#include "harness/parallel_runner.h"
 #include "workload/transform.h"
 
 namespace samya::harness {
@@ -102,10 +103,56 @@ std::vector<double> Experiment::RegionDemandSeries(int region_index) const {
   return series;
 }
 
+namespace {
+
+/// Why `opts` cannot run on the PDES worker pool ("" when it can). The
+/// coordinator re-checks most of these itself (sim/pdes.h), but deciding
+/// here keeps ineligible runs from ever building partition machinery and
+/// lets the reason name the harness feature instead of its sim-level
+/// symptom.
+std::string PdesIneligibility(const ExperimentOptions& opts) {
+  if (opts.oracle != nullptr) {
+    return "schedule oracle attached: exploration needs the serial loop";
+  }
+  if (opts.history != nullptr) {
+    return "history recorder attached: ops append to one shared log";
+  }
+  if (opts.audit.enabled) {
+    return "invariant auditor reads cross-site state mid-run";
+  }
+  if (opts.obs.tracing) {
+    return "tracing attached: spans append to one shared buffer";
+  }
+  for (const sim::FaultOp& op : opts.fault_schedule.ops) {
+    if ((op.kind == sim::FaultOp::Kind::kSetDelayFactor ||
+         op.kind == sim::FaultOp::Kind::kSetLinkDelayFactor) &&
+        op.value < 1.0) {
+      return "fault schedule shrinks latency below the lookahead bound";
+    }
+  }
+  if (ActiveSweepThreads() > 1) {
+    return "parallel sweep already saturates the cores";
+  }
+  return "";
+}
+
+}  // namespace
+
 void Experiment::Setup() {
   SAMYA_CHECK(!setup_done_);
   setup_done_ = true;
-  cluster_ = std::make_unique<sim::Cluster>(opts_.seed);
+  sim::PdesOptions pdes;
+  if (opts_.pdes_workers > 1) {
+    pdes_fallback_reason_ = PdesIneligibility(opts_);
+    if (pdes_fallback_reason_.empty()) {
+      pdes.workers = opts_.pdes_workers;
+    } else {
+      SAMYA_LOG_INFO("experiment: pdes disabled: %s",
+                     pdes_fallback_reason_.c_str());
+    }
+  }
+  cluster_ = std::make_unique<sim::Cluster>(opts_.seed, sim::LatencyModel(),
+                                           pdes);
   faults_ = std::make_unique<sim::FaultInjector>(&cluster_->net());
   if (opts_.oracle != nullptr) {
     // Before any event is scheduled: the queue must meta-tag every slot.
@@ -333,7 +380,10 @@ ExperimentResult Experiment::Run() {
   // duration of the run (parallel sweeps run one simulation per thread).
   Logger::SetThreadSimClock(cluster_->env().now_ptr());
   cluster_->StartAll();
-  cluster_->env().RunUntil(opts_.duration + Seconds(10));
+  cluster_->RunUntil(opts_.duration + Seconds(10));
+  // Fold per-partition obs state into the primary registries before
+  // anything below reads metrics or profiler counts (no-op when serial).
+  cluster_->FinishRun();
 
   ExperimentResult result;
   for (auto* client : clients_) {
@@ -362,7 +412,7 @@ ExperimentResult Experiment::Run() {
     result.total_site_frozen_time += site->stats().time_frozen;
   }
   result.network = cluster_->net().stats();
-  result.events_executed = cluster_->env().events_executed();
+  result.events_executed = cluster_->TotalEventsExecuted();
   if (auditor_ != nullptr) {
     auditor_->FinalAudit();
     result.violations = auditor_->violations();
@@ -422,7 +472,7 @@ void Experiment::SnapshotMetrics() {
   mr->GetCounter("net.messages_duplicated")->Add(ns.messages_duplicated);
   mr->GetCounter("net.bytes_sent")->Add(ns.bytes_sent);
   mr->GetGauge("sim.events_executed")->Set(
-      static_cast<int64_t>(cluster_->env().events_executed()));
+      static_cast<int64_t>(cluster_->TotalEventsExecuted()));
 
   // Per-directed-link lifecycle counters (satellite: surfaced through the
   // snapshot so drop accounting is auditable per link).

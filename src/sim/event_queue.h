@@ -97,6 +97,27 @@ class EventQueue {
     return out;
   }
 
+  /// Appends every pending event with `time <= horizon` to `out` in exact
+  /// pop order — (time, seq), the serial tie-break — and removes them from
+  /// the queue. The PDES window barrier uses this to hand a partition's
+  /// boundary-crossing events to its mailbox without disturbing ordering.
+  void ExtractUntil(SimTime horizon, std::vector<Event>* out) {
+    while (!heap_.empty() && heap_[0].time <= horizon) {
+      out->push_back(Pop());
+    }
+  }
+
+  /// Pushes a batch of events carrying pre-assigned (time, seq) keys, e.g.
+  /// a drained mailbox. Order of `*evs` is irrelevant: the heap re-imposes
+  /// the total (time, seq) order, so a drain/`PushBatch` round trip is
+  /// invisible to the pop sequence. The batch is consumed (moved from).
+  void PushBatch(std::vector<Event>* evs) {
+    for (Event& e : *evs) {
+      Push(e.time, e.seq, std::move(e.fn));
+    }
+    evs->clear();
+  }
+
   /// First phase of a pop: removes the top entry from the heap but leaves
   /// the callback parked in its slot. The caller must follow up with
   /// `InvokeAndRecycle(slot)` (or move `slots_` content out itself).

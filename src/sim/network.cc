@@ -2,6 +2,7 @@
 
 #include "common/logging.h"
 #include "common/macros.h"
+#include "sim/pdes.h"
 
 namespace samya::sim {
 
@@ -20,15 +21,36 @@ const char* TapEventName(TapEvent ev) {
 }
 
 Network::Network(SimEnvironment* env, LatencyModel model)
-    : env_(env), model_(model), rng_(env->rng().Fork(0x6e657477)) {}
+    : env_(env), model_(model), rng_(env->rng().Fork(0x6e657477)),
+      shards_(1) {}
 
-void Network::Register(Node* node) {
+void Network::Register(Node* node, SimEnvironment* env, uint32_t shard) {
   SAMYA_CHECK_EQ(node->id(), static_cast<NodeId>(nodes_.size()));
   node->network_ = this;
-  node->env_ = env_;
+  node->env_ = env;
   node->rng_ = rng_.Fork(0x6e6f6465 + static_cast<uint64_t>(node->id()));
+  // The per-sender network stream: every loss/duplication/latency draw for
+  // this node's sends comes from here, in the node's own send order.
+  send_rngs_.push_back(rng_.Fork(0x736e6472 + static_cast<uint64_t>(node->id())));
+  shard_of_.push_back(shard);
   nodes_.push_back(node);
   partition_group_.push_back(0);
+}
+
+void Network::ForceSerial() {
+  coord_ = nullptr;
+  std::fill(shard_of_.begin(), shard_of_.end(), 0u);
+  for (Node* n : nodes_) n->env_ = env_;
+}
+
+void Network::EnablePdes(PdesCoordinator* coord, size_t num_partitions) {
+  SAMYA_CHECK(coord != nullptr);
+  SAMYA_CHECK_GE(num_partitions, 1u);
+  // Before the first message: shard 0's counters must still be zero, so
+  // splitting state now loses nothing.
+  SAMYA_CHECK_EQ(shards_[0].stats.messages_sent, 0u);
+  coord_ = coord;
+  shards_.resize(num_partitions);
 }
 
 Node* Network::node(NodeId id) const {
@@ -75,8 +97,8 @@ void Network::ClearLinkFaults() {
   link_delay_factor_.clear();
 }
 
-Duration Network::ScaledLatency(Node* sender, Node* receiver) {
-  const Duration base = model_.Sample(sender->region(), receiver->region(), rng_);
+Duration Network::ScaledLatency(Node* sender, Node* receiver, Rng& rng) {
+  const Duration base = model_.Sample(sender->region(), receiver->region(), rng);
   double factor = delay_factor_;
   if (!link_delay_factor_.empty()) {
     auto it = link_delay_factor_.find(LinkKey(sender->id(), receiver->id()));
@@ -88,30 +110,36 @@ Duration Network::ScaledLatency(Node* sender, Node* receiver) {
 }
 
 void Network::InvokeHandler(Node* recv, NodeId from, uint32_t type,
-                            BufferReader& reader) {
-  if (profiler_ == nullptr) {
+                            BufferReader& reader,
+                            obs::EventLoopProfiler* profiler) {
+  if (profiler == nullptr) {
     recv->HandleMessage(from, type, reader);
   } else {
     const int64_t t0 = obs::EventLoopProfiler::NowNs();
     recv->HandleMessage(from, type, reader);
-    profiler_->AccountMessage(type, obs::EventLoopProfiler::NowNs() - t0);
+    profiler->AccountMessage(type, obs::EventLoopProfiler::NowNs() - t0);
   }
 }
 
 void Network::Deliver(NodeId from, NodeId to, uint32_t type,
                       std::vector<uint8_t> payload, uint64_t rec) {
   Node* recv = node(to);
+  // Entering node code: subsequent Schedule/Send key allocations belong to
+  // the receiver's causal stream (see StreamKeyTable).
+  recv->env_->SetCurrentStream(static_cast<uint32_t>(to) + 1);
+  NetShard& shard = shards_[shard_of_[static_cast<size_t>(to)]];
   LinkCounters* lc =
-      metrics_ != nullptr ? &link_counters_[LinkKey(from, to)] : nullptr;
+      shard.metrics != nullptr ? &shard.link_counters[LinkKey(from, to)]
+                               : nullptr;
   bool dropped = true;
   if (!recv->alive()) {
-    ++stats_.messages_dropped_crashed;
+    ++shard.stats.messages_dropped_crashed;
   } else if (partitioned_ && !CanCommunicate(from, to)) {
     // A partition that formed while the message was in flight also cuts it.
-    ++stats_.messages_dropped_partition;
+    ++shard.stats.messages_dropped_partition;
   } else if (!cut_links_.empty() && LinkCut(from, to)) {
     // Same rule for a link cut that formed mid-flight.
-    ++stats_.messages_dropped_link;
+    ++shard.stats.messages_dropped_link;
   } else {
     dropped = false;
   }
@@ -126,7 +154,7 @@ void Network::Deliver(NodeId from, NodeId to, uint32_t type,
       tracer_->OnMessageDroppedAtDelivery(rec, env_->Now());
     }
   } else {
-    ++stats_.messages_delivered;
+    ++shard.stats.messages_delivered;
     if (lc != nullptr) ++lc->delivered;
     if (tap_) {
       tap_(env_->Now(), from, to, type, payload.size(), TapEvent::kDelivered);
@@ -137,12 +165,62 @@ void Network::Deliver(NodeId from, NodeId to, uint32_t type,
       // Install the sender's context around the handler so spans the
       // receiver opens parent correctly across the network hop.
       obs::Tracer::ContextGuard guard(tracer_, tracer_->MessageContext(rec));
-      InvokeHandler(recv, from, type, reader);
+      InvokeHandler(recv, from, type, reader, shard.profiler);
     } else {
-      InvokeHandler(recv, from, type, reader);
+      InvokeHandler(recv, from, type, reader, shard.profiler);
     }
   }
-  pool_.Release(std::move(payload));
+  shard.pool.Release(std::move(payload));
+}
+
+void Network::DispatchDelivery(Node* sender, Node* receiver, uint32_t type,
+                               std::vector<uint8_t> payload, uint64_t rec,
+                               Duration latency) {
+  SimEnvironment* env = sender->env_;
+  const NodeId from = sender->id();
+  const NodeId to = receiver->id();
+  if (shard_of_[static_cast<size_t>(from)] ==
+      shard_of_[static_cast<size_t>(to)]) {
+    // Same partition (always, for serial clusters): straight onto the
+    // sender's event loop. The delivery closure (48 bytes: this + ids +
+    // type + the payload vector) fits SimCallback's inline buffer, and the
+    // payload returns to the pool whether the message is delivered or
+    // dropped in flight. Deliveries go through ScheduleMessage so an
+    // attached schedule oracle may reorder them; with no oracle it is a
+    // plain Schedule.
+    if (rec == kNoMsgRecord) {
+      env->ScheduleMessage(latency, from, to, type,
+                           [this, from, to, type,
+                            payload = std::move(payload)]() mutable {
+                             Deliver(from, to, type, std::move(payload));
+                           });
+    } else {
+      // Traced sends carry the sender's context out-of-band: the record id
+      // rides the (heap-fallback) closure, never the payload bytes, so the
+      // wire format and every RNG draw are identical with tracing off.
+      env->ScheduleMessage(latency, from, to, type,
+                           [this, from, to, type, rec,
+                            payload = std::move(payload)]() mutable {
+                             Deliver(from, to, type, std::move(payload), rec);
+                           });
+    }
+    return;
+  }
+  // Cross-partition: key the event on the sender's stream *now* (so the key
+  // sequence matches the serial run exactly) and hand it to the receiving
+  // partition's mailbox; the window barrier guarantees it arrives before
+  // the receiver's clock reaches it. Tracing forces the serial path, so
+  // only the untraced closure shape exists here.
+  SAMYA_CHECK_EQ(rec, kNoMsgRecord);
+  if (latency < 0) latency = 0;
+  Event e;
+  e.time = env->Now() + latency;
+  e.seq = env->AllocKey();
+  e.fn = [this, from, to, type, payload = std::move(payload)]() mutable {
+    Deliver(from, to, type, std::move(payload));
+  };
+  coord_->EnqueueRemote(shard_of_[static_cast<size_t>(from)],
+                        shard_of_[static_cast<size_t>(to)], std::move(e));
 }
 
 void Network::Send(NodeId from, NodeId to, uint32_t type,
@@ -150,10 +228,13 @@ void Network::Send(NodeId from, NodeId to, uint32_t type,
   Node* sender = node(from);
   Node* receiver = node(to);
   if (!sender->alive()) return;  // a crashed node sends nothing
-  ++stats_.messages_sent;
-  stats_.bytes_sent += payload.size();
+  NetShard& shard = shards_[shard_of_[static_cast<size_t>(from)]];
+  Rng& send_rng = send_rngs_[static_cast<size_t>(from)];
+  ++shard.stats.messages_sent;
+  shard.stats.bytes_sent += payload.size();
   LinkCounters* lc =
-      metrics_ != nullptr ? &link_counters_[LinkKey(from, to)] : nullptr;
+      shard.metrics != nullptr ? &shard.link_counters[LinkKey(from, to)]
+                               : nullptr;
   if (lc != nullptr) {
     ++lc->attempts;
     lc->bytes += payload.size();
@@ -161,13 +242,13 @@ void Network::Send(NodeId from, NodeId to, uint32_t type,
 
   bool dropped_at_send = false;
   if (partitioned_ && !CanCommunicate(from, to)) {
-    ++stats_.messages_dropped_partition;
+    ++shard.stats.messages_dropped_partition;
     dropped_at_send = true;
   } else if (!cut_links_.empty() && LinkCut(from, to)) {
-    ++stats_.messages_dropped_link;
+    ++shard.stats.messages_dropped_link;
     dropped_at_send = true;
-  } else if (loss_rate_ > 0 && rng_.Bernoulli(loss_rate_)) {
-    ++stats_.messages_dropped_loss;
+  } else if (loss_rate_ > 0 && send_rng.Bernoulli(loss_rate_)) {
+    ++shard.stats.messages_dropped_loss;
     dropped_at_send = true;
   }
   if (dropped_at_send) {
@@ -180,62 +261,37 @@ void Network::Send(NodeId from, NodeId to, uint32_t type,
       tracer_->OnMessageDroppedAtSend(env_->Now(), from, to, type,
                                       payload.size(), tracer_->current());
     }
-    pool_.Release(std::move(payload));
+    shard.pool.Release(std::move(payload));
     return;
   }
   if (tap_) tap_(env_->Now(), from, to, type, payload.size(), TapEvent::kSent);
 
-  if (duplicate_rate_ > 0 && rng_.Bernoulli(duplicate_rate_)) {
+  if (duplicate_rate_ > 0 && send_rng.Bernoulli(duplicate_rate_)) {
     // Inject a copy with an independently sampled latency; it races the
     // original and may arrive first (duplication implies reordering).
-    ++stats_.messages_duplicated;
+    ++shard.stats.messages_duplicated;
     if (lc != nullptr) ++lc->duplicated;
-    std::vector<uint8_t> copy = pool_.Acquire();
+    std::vector<uint8_t> copy = shard.pool.Acquire();
     copy.assign(payload.begin(), payload.end());
-    const Duration dup_latency = ScaledLatency(sender, receiver);
-    if (tracer_ == nullptr) {
-      env_->ScheduleMessage(dup_latency, from, to, type,
-                            [this, from, to, type,
-                             payload = std::move(copy)]() mutable {
-                              Deliver(from, to, type, std::move(payload));
-                            });
-    } else {
+    const Duration dup_latency = ScaledLatency(sender, receiver, send_rng);
+    uint64_t dup_rec = kNoMsgRecord;
+    if (tracer_ != nullptr) {
       // The duplicate gets its own message record (it fires its own
       // terminal tap event) carrying the same causal context.
-      const uint64_t rec = tracer_->OnMessageSent(
-          env_->Now(), from, to, type, copy.size(), tracer_->current());
-      env_->ScheduleMessage(dup_latency, from, to, type,
-                            [this, from, to, type, rec,
-                             payload = std::move(copy)]() mutable {
-                              Deliver(from, to, type, std::move(payload), rec);
-                            });
+      dup_rec = tracer_->OnMessageSent(env_->Now(), from, to, type,
+                                       copy.size(), tracer_->current());
     }
+    DispatchDelivery(sender, receiver, type, std::move(copy), dup_rec,
+                     dup_latency);
   }
 
-  const Duration latency = ScaledLatency(sender, receiver);
-  if (tracer_ == nullptr) {
-    // The delivery closure (48 bytes: this + ids + type + the payload vector)
-    // fits SimCallback's inline buffer, and the payload returns to the pool
-    // whether the message is delivered or dropped in flight. Deliveries go
-    // through ScheduleMessage so an attached schedule oracle may reorder
-    // them; with no oracle it is a plain Schedule.
-    env_->ScheduleMessage(latency, from, to, type,
-                          [this, from, to, type,
-                           payload = std::move(payload)]() mutable {
-                            Deliver(from, to, type, std::move(payload));
-                          });
-  } else {
-    // Traced sends carry the sender's context out-of-band: the record id
-    // rides the (heap-fallback) closure, never the payload bytes, so the
-    // wire format and every RNG draw are identical with tracing off.
-    const uint64_t rec = tracer_->OnMessageSent(
-        env_->Now(), from, to, type, payload.size(), tracer_->current());
-    env_->ScheduleMessage(latency, from, to, type,
-                          [this, from, to, type, rec,
-                           payload = std::move(payload)]() mutable {
-                            Deliver(from, to, type, std::move(payload), rec);
-                          });
+  const Duration latency = ScaledLatency(sender, receiver, send_rng);
+  uint64_t rec = kNoMsgRecord;
+  if (tracer_ != nullptr) {
+    rec = tracer_->OnMessageSent(env_->Now(), from, to, type, payload.size(),
+                                 tracer_->current());
   }
+  DispatchDelivery(sender, receiver, type, std::move(payload), rec, latency);
 }
 
 void Network::Crash(NodeId id) {
@@ -246,6 +302,10 @@ void Network::Crash(NodeId id) {
   n->alive_ = false;
   ++n->epoch_;
   n->active_timers_.clear();
+  // Crash handling is node code: anything it schedules keys on the node's
+  // causal stream, whether the crash came from the serial loop or a PDES
+  // barrier.
+  n->env_->SetCurrentStream(static_cast<uint32_t>(id) + 1);
   n->HandleCrash();
 }
 
@@ -257,6 +317,7 @@ void Network::Recover(NodeId id) {
                  RegionName(n->region()));
   n->alive_ = true;
   ++n->epoch_;
+  n->env_->SetCurrentStream(static_cast<uint32_t>(id) + 1);
   n->HandleRecover();
 }
 
@@ -292,19 +353,24 @@ uint64_t Network::ArmTimer(Node* n, Duration delay, uint64_t token) {
   // captured `this`) to stay inside that budget.
   const obs::TraceContext ctx =
       tracer_ != nullptr ? tracer_->current() : obs::TraceContext{};
-  env_->Schedule(delay, [n, timer_id, token, epoch, ctx]() {
+  n->env_->Schedule(delay, [n, timer_id, token, epoch, ctx]() {
     if (!n->alive()) return;
     if (n->epoch_ != epoch) return;  // node crashed/recovered since arming
     if (n->active_timers_.erase(timer_id) == 0) return;  // cancelled
     Network* net = n->network_;
+    // Timer fire is an entry into node code: key allocations inside the
+    // handler belong to the node's causal stream.
+    n->env_->SetCurrentStream(static_cast<uint32_t>(n->id()) + 1);
     obs::Tracer::ContextGuard guard(ctx.valid() ? net->tracer_ : nullptr,
                                     ctx);
-    if (net->profiler_ == nullptr) {
+    obs::EventLoopProfiler* prof =
+        net->shards_[net->shard_of_[static_cast<size_t>(n->id())]].profiler;
+    if (prof == nullptr) {
       n->HandleTimer(token);
     } else {
       const int64_t t0 = obs::EventLoopProfiler::NowNs();
       n->HandleTimer(token);
-      net->profiler_->AccountTimer(obs::EventLoopProfiler::NowNs() - t0);
+      prof->AccountTimer(obs::EventLoopProfiler::NowNs() - t0);
     }
   });
   return timer_id;

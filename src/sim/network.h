@@ -64,6 +64,8 @@ struct LinkCounters {
   uint64_t bytes = 0;  ///< payload bytes attempted on this link
 };
 
+class PdesCoordinator;
+
 /// \brief Simulated asynchronous geo-distributed network (§3.1's model:
 /// messages may be delayed, dropped, duplicated, or reordered; crash faults;
 /// partitions; asymmetric link cuts; delay storms).
@@ -73,12 +75,24 @@ struct LinkCounters {
 /// global delay factor and any per-link factor. Partition groups cut all
 /// communication between groups. A link cut severs one direction only. Loss
 /// and duplication are Bernoulli per message.
+///
+/// Under conservative-window PDES (sim/pdes.h, DESIGN.md §11) the network's
+/// mutable hot state — stats, buffer pool, link counters, obs sinks — lives
+/// in per-partition *shards* so concurrent windows never share a cache line,
+/// and latency/loss/duplication draws come from per-sender RNG streams so
+/// the draw sequence depends only on each node's own send order, never on
+/// how partitions interleave. A serial cluster is the degenerate single-
+/// shard case and takes no extra branches on the send/deliver path.
 class Network {
  public:
   Network(SimEnvironment* env, LatencyModel model);
 
   /// Registers a node; the node's id must equal its registration order.
-  void Register(Node* node);
+  /// Events for the node run on `env` (the primary environment for serial
+  /// clusters, its partition's environment under PDES) and its network-side
+  /// state lives in shard `shard`.
+  void Register(Node* node, SimEnvironment* env, uint32_t shard);
+  void Register(Node* node) { Register(node, env_, 0); }
 
   /// Sends an encoded message. Called via Node::Send. The payload vector is
   /// recycled through `buffer_pool()` after delivery (or drop), so callers
@@ -142,8 +156,33 @@ class Network {
 
   SimEnvironment* env() { return env_; }
   LatencyModel* latency_model() { return &model_; }
-  const NetworkStats& stats() const { return stats_; }
-  BufferPool* buffer_pool() { return &pool_; }
+
+  /// Network-wide counters, summed across shards. Returned by value (the
+  /// per-shard counters are the source of truth); `const auto&` binding at
+  /// call sites still works via lifetime extension.
+  NetworkStats stats() const {
+    NetworkStats total = shards_[0].stats;
+    for (size_t i = 1; i < shards_.size(); ++i) {
+      const NetworkStats& s = shards_[i].stats;
+      total.messages_sent += s.messages_sent;
+      total.messages_delivered += s.messages_delivered;
+      total.messages_dropped_loss += s.messages_dropped_loss;
+      total.messages_dropped_partition += s.messages_dropped_partition;
+      total.messages_dropped_crashed += s.messages_dropped_crashed;
+      total.messages_dropped_link += s.messages_dropped_link;
+      total.messages_duplicated += s.messages_duplicated;
+      total.bytes_sent += s.bytes_sent;
+    }
+    return total;
+  }
+
+  /// Shard-0 buffer pool (the only pool for serial clusters).
+  BufferPool* buffer_pool() { return &shards_[0].pool; }
+
+  /// Acquires a send buffer from the sender's shard pool (Node::Send).
+  std::vector<uint8_t> AcquireSendBuffer(NodeId from) {
+    return shards_[shard_of_[static_cast<size_t>(from)]].pool.Acquire();
+  }
 
   /// Installs a message tap (analysis/debugging; pass nullptr to remove).
   void set_message_tap(MessageTap tap) { tap_ = std::move(tap); }
@@ -157,17 +196,39 @@ class Network {
   void set_observability(obs::Tracer* tracer, obs::MetricsRegistry* metrics,
                          obs::EventLoopProfiler* profiler) {
     tracer_ = tracer;
-    metrics_ = metrics;
-    profiler_ = profiler;
+    shards_[0].metrics = metrics;
+    shards_[0].profiler = profiler;
   }
 
   obs::Tracer* tracer() const { return tracer_; }
-  obs::MetricsRegistry* metrics() const { return metrics_; }
+  bool has_message_tap() const { return static_cast<bool>(tap_); }
+  obs::MetricsRegistry* metrics() const { return shards_[0].metrics; }
 
-  /// Per-link counters keyed by `LinkKey`; empty unless a metrics registry
-  /// is attached. Decode keys with `LinkKeyFrom` / `LinkKeyTo`.
-  const std::unordered_map<uint64_t, LinkCounters>& link_counters() const {
-    return link_counters_;
+  /// Metrics registry a node should record into: its shard's registry under
+  /// PDES, the primary one otherwise. Null when metrics are off.
+  obs::MetricsRegistry* metrics_for(NodeId id) const {
+    return shards_[shard_of_[static_cast<size_t>(id)]].metrics;
+  }
+
+  /// Per-link counters keyed by `LinkKey`, merged across shards (each
+  /// directed link is counted by exactly one shard — the sender's for send-
+  /// side events, the receiver's for delivery — so merging just sums).
+  /// Empty unless a metrics registry is attached. Returned by value; decode
+  /// keys with `LinkKeyFrom` / `LinkKeyTo`.
+  std::unordered_map<uint64_t, LinkCounters> link_counters() const {
+    std::unordered_map<uint64_t, LinkCounters> total = shards_[0].link_counters;
+    for (size_t i = 1; i < shards_.size(); ++i) {
+      for (const auto& [key, lc] : shards_[i].link_counters) {
+        LinkCounters& t = total[key];
+        t.attempts += lc.attempts;
+        t.duplicated += lc.duplicated;
+        t.dropped_at_send += lc.dropped_at_send;
+        t.delivered += lc.delivered;
+        t.dropped_at_delivery += lc.dropped_at_delivery;
+        t.bytes += lc.bytes;
+      }
+    }
+    return total;
   }
   static NodeId LinkKeyFrom(uint64_t key) {
     return static_cast<NodeId>(key >> 32) - 1;
@@ -178,6 +239,42 @@ class Network {
 
   // Internal: used by Node to arm timers on the shared event loop.
   uint64_t ArmTimer(Node* node, Duration delay, uint64_t token);
+
+  // --- PDES wiring (sim/pdes.h) ---------------------------------------------
+
+  /// Splits hot state into `num_partitions` shards and routes cross-
+  /// partition sends through `coord`'s mailboxes. Called once by the
+  /// coordinator at finalize, before any message flows.
+  void EnablePdes(PdesCoordinator* coord, size_t num_partitions);
+
+  /// Serial fallback: re-points every node at the primary environment and
+  /// collapses shard routing to shard 0. Installed obs shard pointers stay
+  /// valid (the coordinator still merges them at run end).
+  void ForceSerial();
+
+  /// True iff the global factor or any per-link factor is below 1 — then
+  /// observed latency can undercut the model's base, which invalidates the
+  /// conservative-window lookahead.
+  bool AnyDelayFactorBelowOne() const {
+    if (delay_factor_ < 1.0) return true;
+    for (const auto& [key, factor] : link_delay_factor_) {
+      if (factor < 1.0) return true;
+    }
+    return false;
+  }
+
+  /// Installs partition `shard`'s obs sinks (coordinator-owned registries
+  /// that merge into the primary ones in partition order at run end).
+  void set_shard_observability(uint32_t shard, obs::MetricsRegistry* metrics,
+                               obs::EventLoopProfiler* profiler) {
+    shards_[shard].metrics = metrics;
+    shards_[shard].profiler = profiler;
+  }
+
+  uint32_t shard_of(NodeId id) const {
+    return shard_of_[static_cast<size_t>(id)];
+  }
+  size_t num_shards() const { return shards_.size(); }
 
  private:
   static uint64_t LinkKey(NodeId from, NodeId to) {
@@ -190,8 +287,26 @@ class Network {
   /// No traced message record: sentinel for the untraced delivery path.
   static constexpr uint64_t kNoMsgRecord = ~uint64_t{0};
 
-  /// Samples link latency and applies global and per-link delay factors.
-  Duration ScaledLatency(Node* sender, Node* receiver);
+  /// Per-partition slice of the network's mutable hot state. Cache-line
+  /// aligned so concurrent partition windows never false-share. A serial
+  /// cluster has exactly one shard.
+  struct alignas(64) NetShard {
+    NetworkStats stats;
+    BufferPool pool;
+    std::unordered_map<uint64_t, LinkCounters> link_counters;
+    obs::MetricsRegistry* metrics = nullptr;
+    obs::EventLoopProfiler* profiler = nullptr;
+  };
+
+  /// Samples link latency from `rng` (the sender's stream) and applies
+  /// global and per-link delay factors.
+  Duration ScaledLatency(Node* sender, Node* receiver, Rng& rng);
+
+  /// Schedules a delivery closure: locally when sender and receiver share a
+  /// partition, through the coordinator's mailboxes otherwise.
+  void DispatchDelivery(Node* sender, Node* receiver, uint32_t type,
+                        std::vector<uint8_t> payload, uint64_t rec,
+                        Duration latency);
 
   /// Delivery-time half of `Send`: runs when a scheduled copy arrives.
   /// `rec` is the tracer's message record (kNoMsgRecord when untraced).
@@ -201,7 +316,7 @@ class Network {
 
   /// Runs the receiver's handler, timed when the profiler is attached.
   void InvokeHandler(Node* recv, NodeId from, uint32_t type,
-                     BufferReader& reader);
+                     BufferReader& reader, obs::EventLoopProfiler* profiler);
 
   SimEnvironment* env_;
   LatencyModel model_;
@@ -213,14 +328,16 @@ class Network {
   double delay_factor_ = 1.0;
   FlatSet64 cut_links_;  // directed cuts, keyed by LinkKey(from, to)
   std::unordered_map<uint64_t, double> link_delay_factor_;
-  Rng rng_;
-  NetworkStats stats_;
-  BufferPool pool_;
+  Rng rng_;  ///< forking parent only; no per-message draws (see send_rngs_)
+  /// Per-sender RNG streams for loss/duplication/latency draws. Draw order
+  /// depends only on the sender's own send sequence, which is what makes
+  /// parallel partition execution bit-identical to the serial loop.
+  std::vector<Rng> send_rngs_;
+  std::vector<uint32_t> shard_of_;  ///< per node; all 0 for serial clusters
+  std::vector<NetShard> shards_;    ///< size 1 until EnablePdes
+  PdesCoordinator* coord_ = nullptr;
   MessageTap tap_;
   obs::Tracer* tracer_ = nullptr;
-  obs::MetricsRegistry* metrics_ = nullptr;
-  obs::EventLoopProfiler* profiler_ = nullptr;
-  std::unordered_map<uint64_t, LinkCounters> link_counters_;
 };
 
 }  // namespace samya::sim

@@ -18,7 +18,7 @@ void Node::Send(NodeId to, uint32_t type, const uint8_t* data, size_t n) {
   SAMYA_CHECK(network_ != nullptr);
   // Copy the encoded bytes into a pooled buffer rather than allocating a
   // fresh vector per message; the network recycles it after delivery.
-  std::vector<uint8_t> buf = network_->buffer_pool()->Acquire();
+  std::vector<uint8_t> buf = network_->AcquireSendBuffer(id_);
   buf.assign(data, data + n);
   network_->Send(id_, to, type, std::move(buf));
 }

@@ -108,7 +108,9 @@ TEST(RaftTest, LogsConvergeAfterPartitionHeals) {
   auto nodes = MakeGroup(cluster, 1000);
   WorkloadClientOptions copts;
   copts.servers = {0, 1, 2, 3, 4};
-  copts.max_attempts = 6;
+  // Enough retries (600 ms apart) to ride out a slow new-leader election
+  // on the majority side while rotating through all five servers.
+  copts.max_attempts = 10;
   std::vector<Request> script;
   for (int i = 0; i < 10; ++i) {
     script.push_back({Seconds(1) + Millis(300 * i), Request::Type::kAcquire, 1});
@@ -122,7 +124,9 @@ TEST(RaftTest, LogsConvergeAfterPartitionHeals) {
   sim::FaultInjector faults(&cluster.net());
   faults.PartitionAt(Millis(500), {{0, 1}, {2, 3, 4, 5}});  // 5 = client
   faults.HealAt(Seconds(8));
-  cluster.env().RunFor(Seconds(16));
+  // Long enough for every scripted request's retry chain to land after the
+  // heal, with margin for election timing.
+  cluster.env().RunFor(Seconds(22));
 
   EXPECT_GE(client->stats().committed_acquires, 8u);
   // After healing, all logs agree on the committed prefix.

@@ -61,10 +61,14 @@ TEST(SiteTest, ServesAcquireAndReleaseLocally) {
   SiteOptions base;
   base.initial_tokens = 100;
   auto sites = rig.AddSites(1, base);
+  // The release arrives well after both acquires' round trips: the client
+  // only releases tokens whose acquire has already committed (it skips
+  // releases exceeding its balance), and a same-millisecond release would
+  // race the first acquire's ~2 ms commit.
   auto* client = rig.AddClient(
       0, Script({{Millis(1), Request::Type::kAcquire, 30},
                  {Millis(2), Request::Type::kAcquire, 20},
-                 {Millis(3), Request::Type::kRelease, 10}}));
+                 {Millis(50), Request::Type::kRelease, 10}}));
   rig.cluster.StartAll();
   rig.cluster.env().RunFor(Seconds(1));
   EXPECT_EQ(client->stats().committed_acquires, 2u);
